@@ -1,0 +1,46 @@
+"""Ablation — 0-lookahead vs 1-lookahead (paper Sec. 2's distinction).
+
+The paper criticizes prior work for assuming 1-lookahead (knowing the
+current epoch's inputs before deciding).  The oracle baseline IS the
+1-lookahead per-slot optimum; comparing FedL against it quantifies the
+price of honesty, and per-epoch latencies quantify how much of the oracle
+gap FedL closes relative to blind random selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_lookahead_price_of_honesty(benchmark, emit):
+    def run():
+        traces = {}
+        for name in ("FedL", "FedAvg", "Oracle"):
+            cfg = experiment_config(
+                budget=800.0, num_clients=20, max_epochs=40, seed=6
+            )
+            pol = make_policy(name, cfg, RngFactory(6).get(f"p.{name}"))
+            traces[name] = run_experiment(pol, cfg).trace
+        return traces
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Mean per-iteration latency of the selected sets (iteration-count
+    # normalized so FedL's adaptive l_t does not skew the comparison).
+    per_iter = {
+        n: float(
+            (tr.column("epoch_latency") / tr.column("iterations")).mean()
+        )
+        for n, tr in traces.items()
+    }
+    emit(
+        "[ablation-lookahead] mean per-iteration epoch latency (s)\n"
+        + "\n".join(f"  {n:7s}: {v:.3f}" for n, v in per_iter.items())
+    )
+    # The 1-lookahead oracle is the floor; FedL should land between the
+    # oracle and blind random selection, closing part of the gap.
+    assert per_iter["Oracle"] <= per_iter["FedAvg"] * 1.05
+    assert per_iter["FedL"] <= per_iter["FedAvg"] * 1.10

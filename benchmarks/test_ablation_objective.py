@@ -1,0 +1,56 @@
+"""Ablation — the eq. (4) Σ-relaxation vs a smooth-max surrogate.
+
+The paper replaces the true epoch latency ``max_k d_k`` by the convex
+upper bound ``Σ_k d_k`` (eq. 4).  This bench runs FedL end-to-end under
+both the paper's sum objective and a weighted log-sum-exp smooth-max and
+compares realized latency and accuracy — quantifying what the relaxation
+costs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_objective_sum_vs_softmax(benchmark, emit):
+    def run():
+        out = {}
+        for objective in ("sum", "softmax"):
+            cfg = experiment_config(
+                budget=800.0, num_clients=20, max_epochs=40, seed=12
+            )
+            cfg = cfg.replace(
+                fedl=dataclasses.replace(cfg.fedl, objective=objective)
+            )
+            pol = make_policy("FedL", cfg, RngFactory(12).get(f"p.{objective}"))
+            out[objective] = run_experiment(pol, cfg).trace
+        return out
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = {
+        name: (
+            tr.final_accuracy,
+            float(tr.times[-1]),
+            float((tr.column("epoch_latency") / tr.column("iterations")).mean()),
+        )
+        for name, tr in traces.items()
+    }
+    emit(
+        "[ablation-objective] objective -> (final acc, total time s, mean per-iter lat s)\n"
+        + "\n".join(
+            f"  {n:8s}: acc={a:.3f}  T={t:7.1f}  lat={l:.3f}"
+            for n, (a, t, l) in stats.items()
+        )
+    )
+    # Both objectives drive a working controller.
+    for name, tr in traces.items():
+        assert tr.final_accuracy > 0.3, name
+    # The relaxation is benign: the sum objective's realized mean latency
+    # is within 2x of the smooth-max's (they optimize the same quantity up
+    # to the relaxation gap).
+    assert stats["sum"][2] <= 2.0 * stats["softmax"][2] + 0.05

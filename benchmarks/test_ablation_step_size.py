@@ -1,0 +1,62 @@
+"""Ablation — the Corollary 1 step-size rule β = δ = O(T^{-1/3}).
+
+Sweeps the O(·) constant (``step_scale``) in full FedL runs.  Too small a
+step makes the learner adapt too slowly (poor latency learning); too large
+destabilizes the dual dynamics.  The default sits in the productive band.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FedLConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+SCALES = (0.3, 3.0, 30.0)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_step_size_scale(benchmark, emit):
+    def run():
+        out = {}
+        for scale in SCALES:
+            cfg = experiment_config(
+                budget=800.0, num_clients=20, max_epochs=40, seed=8
+            )
+            cfg = cfg.replace(
+                fedl=dataclasses.replace(cfg.fedl, step_scale=scale)
+            )
+            pol = make_policy("FedL", cfg, RngFactory(8).get(f"p.{scale}"))
+            out[scale] = run_experiment(pol, cfg).trace
+        return out
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = {
+        scale: (
+            tr.final_accuracy,
+            float(tr.times[-1]),
+            float(
+                (tr.column("epoch_latency") / tr.column("iterations"))[-8:].mean()
+            ),
+        )
+        for scale, tr in traces.items()
+    }
+    emit(
+        "[ablation-step-size] scale -> (final acc, total time s, late per-iter lat s)\n"
+        + "\n".join(
+            f"  {s:>5}: acc={a:.3f}  T={t:7.1f}  lat={l:.3f}"
+            for s, (a, t, l) in rows.items()
+        )
+    )
+    # Every scale still learns (the theory guarantees hold for any fixed
+    # positive steps) and lands in the same accuracy band — the rule is
+    # robust to its constant, which is the practical content of
+    # Corollary 1's O(·) freedom.  (Late-run latency magnitudes are
+    # reported above but are seed-noisy at the ~10 ms level, so they are
+    # not asserted.)
+    best = max(tr.final_accuracy for tr in traces.values())
+    for scale, tr in traces.items():
+        assert tr.final_accuracy > 0.3, scale
+        assert tr.final_accuracy >= best - 0.25, scale

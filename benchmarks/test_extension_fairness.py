@@ -1,0 +1,59 @@
+"""Extension bench — fairness-aware FedL (the paper's future work).
+
+Compares plain FedL against Fair-FedL (virtual-queue participation
+fairness) on participation spread (Jain's index) and accuracy: fairness
+should rise substantially at a modest accuracy/latency cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import ParticipationTracker, jain_index
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_fairness_tradeoff(benchmark, emit):
+    def run():
+        out = {}
+        for name in ("FedL", "Fair-FedL"):
+            cfg = experiment_config(
+                budget=1000.0, num_clients=20, max_epochs=50, seed=13
+            )
+            pol = make_policy(name, cfg, RngFactory(13).get(f"p.{name}"))
+            res = run_experiment(pol, cfg)
+            if name == "Fair-FedL":
+                fairness = pol.tracker.fairness()
+            else:
+                # Rebuild participation rates from the trace is not possible
+                # (masks not stored); track via a fresh run? Instead use the
+                # recorded per-epoch selections count distribution proxy:
+                fairness = None
+            out[name] = (res.trace, pol)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Participation fairness: reconstruct from the policies' own state.
+    fair_tr, fair_pol = out["Fair-FedL"]
+    plain_tr, plain_pol = out["FedL"]
+    # Plain FedL has no tracker; approximate its participation spread from
+    # the learner's terminal fractional allocation (what it converged to).
+    plain_fair = jain_index(np.clip(plain_pol.phi.x, 0.0, 1.0))
+    fair_fair = fair_pol.tracker.fairness()
+    emit(
+        "[extension-fairness]\n"
+        f"  Fair-FedL participation Jain index: {fair_fair:.3f}\n"
+        f"  FedL terminal-allocation Jain index: {plain_fair:.3f}\n"
+        f"  final accuracy: FedL {plain_tr.final_accuracy:.3f},"
+        f" Fair-FedL {fair_tr.final_accuracy:.3f}\n"
+        f"  total time: FedL {plain_tr.times[-1]:.1f}s,"
+        f" Fair-FedL {fair_tr.times[-1]:.1f}s"
+    )
+    # Fair-FedL spreads participation widely...
+    assert fair_fair > 0.6
+    assert fair_fair > plain_fair
+    # ...while still learning.
+    assert fair_tr.final_accuracy > 0.3
+    assert fair_tr.final_accuracy > plain_tr.final_accuracy - 0.15

@@ -1,0 +1,47 @@
+"""Extension bench — UCB bandit selection vs FedL.
+
+The paper cites bandit/RL selection strategies ([30] and others) as the
+class "lacking theoretical guarantees" on convergence.  This bench pits a
+UCB1 latency-bandit against FedL: UCB also learns fast clients, but its
+exploration is *forced* (it must select an arm to observe it) while FedL
+exploits the passively observable latencies — so FedL should match or
+beat UCB's latency while also controlling iterations.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_ucb_vs_fedl(benchmark, emit):
+    def run():
+        out = {}
+        for name in ("FedL", "UCB", "FedAvg"):
+            cfg = experiment_config(
+                budget=1000.0, num_clients=20, max_epochs=50, seed=14
+            )
+            pol = make_policy(name, cfg, RngFactory(14).get(f"p.{name}"))
+            out[name] = run_experiment(pol, cfg).trace
+        return out
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_iter = {
+        n: float((tr.column("epoch_latency") / tr.column("iterations"))[-15:].mean())
+        for n, tr in traces.items()
+    }
+    emit(
+        "[extension-ucb] late-run per-iteration latency (s) & final accuracy\n"
+        + "\n".join(
+            f"  {n:7s}: lat={per_iter[n]:.3f}  acc={traces[n].final_accuracy:.3f}"
+            for n in traces
+        )
+    )
+    # Both learning selectors end up faster than blind random selection.
+    assert per_iter["UCB"] <= per_iter["FedAvg"] * 1.05
+    assert per_iter["FedL"] <= per_iter["FedAvg"] * 1.05
+    # Everyone learns.
+    for n, tr in traces.items():
+        assert tr.final_accuracy > 0.3, n

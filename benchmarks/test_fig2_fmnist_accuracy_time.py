@@ -1,0 +1,42 @@
+"""Figure 2 — Accuracy vs. training time, Fashion-MNIST (IID & Non-IID).
+
+Paper shape: Pow-d/FedAvg plateau slower per unit time than FedL; FedCS is
+strong early but saturates when its per-epoch spend exhausts the budget;
+FedL reaches the highest-accuracy band fastest and ends on top.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_suite
+from repro.experiments.figures import accuracy_vs_time
+from repro.experiments.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("iid", [True, False], ids=["iid", "non_iid"])
+def test_fig2_fmnist_accuracy_vs_time(benchmark, emit, iid):
+    traces = benchmark.pedantic(
+        lambda: cached_suite("fmnist", iid), rounds=1, iterations=1
+    )
+    series = accuracy_vs_time(traces)
+    emit(
+        format_series(
+            series,
+            x_label="seconds",
+            y_label="accuracy",
+            title=f"[fig2] FMNIST accuracy vs time ({'IID' if iid else 'Non-IID'})",
+        )
+    )
+    # Shape assertions (paper Sec. 6.2):
+    # 1. every policy learns;
+    fedl = traces["FedL"]
+    for name, tr in traces.items():
+        assert tr.best_accuracy() > 0.3, f"{name} failed to learn"
+    # 2. FedL ends at (or above) the best final accuracy of the baselines
+    #    within a small tolerance band;
+    best_baseline = max(
+        tr.final_accuracy for n, tr in traces.items() if n != "FedL"
+    )
+    assert fedl.final_accuracy >= best_baseline - 0.05
+    # 3. FedCS saturates early on budget: it runs fewer epochs than FedL.
+    assert len(traces["FedCS"]) < len(fedl)

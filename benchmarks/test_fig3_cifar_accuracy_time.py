@@ -1,0 +1,35 @@
+"""Figure 3 — Accuracy vs. training time, CIFAR-10 (IID & Non-IID).
+
+Same axes as Fig. 2 on the harder dataset; the paper's orderings persist
+with lower absolute accuracies and slower convergence.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_suite
+from repro.experiments.figures import accuracy_vs_time
+from repro.experiments.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("iid", [True, False], ids=["iid", "non_iid"])
+def test_fig3_cifar_accuracy_vs_time(benchmark, emit, iid):
+    traces = benchmark.pedantic(
+        lambda: cached_suite("cifar10", iid), rounds=1, iterations=1
+    )
+    emit(
+        format_series(
+            accuracy_vs_time(traces),
+            x_label="seconds",
+            y_label="accuracy",
+            title=f"[fig3] CIFAR-10 accuracy vs time ({'IID' if iid else 'Non-IID'})",
+        )
+    )
+    fedl = traces["FedL"]
+    for name, tr in traces.items():
+        assert tr.best_accuracy() > 0.2, f"{name} failed to learn"
+    best_baseline = max(
+        tr.final_accuracy for n, tr in traces.items() if n != "FedL"
+    )
+    assert fedl.final_accuracy >= best_baseline - 0.05
+    assert len(traces["FedCS"]) < len(fedl)

@@ -1,0 +1,30 @@
+"""Figure 5 — Accuracy vs. federated round, CIFAR-10."""
+
+import pytest
+
+from benchmarks.conftest import cached_suite
+from repro.experiments.figures import accuracy_vs_round
+from repro.experiments.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("iid", [True, False], ids=["iid", "non_iid"])
+def test_fig5_cifar_accuracy_vs_round(benchmark, emit, iid):
+    traces = benchmark.pedantic(
+        lambda: cached_suite("cifar10", iid), rounds=1, iterations=1
+    )
+    emit(
+        format_series(
+            accuracy_vs_round(traces),
+            x_label="round",
+            y_label="accuracy",
+            title=f"[fig5] CIFAR-10 accuracy vs round ({'IID' if iid else 'Non-IID'})",
+        )
+    )
+    fedcs = traces["FedCS"]
+    fedavg = traces["FedAvg"]
+    r = min(len(fedcs), len(fedavg)) - 1
+    assert fedcs.accuracy[r] >= fedavg.accuracy[r] - 0.10
+    fedl = traces["FedL"]
+    r2 = min(len(fedl), len(fedavg)) - 1
+    assert fedl.accuracy[r2] >= fedavg.accuracy[r2] - 0.05

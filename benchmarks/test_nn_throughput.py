@@ -1,0 +1,55 @@
+"""Performance benchmarks for the NumPy NN substrate.
+
+These use pytest-benchmark's repeated timing (unlike the figure benches,
+which are one-shot experiment regenerations): loss+gradient throughput of
+the three model families at experiment batch sizes.  Regressions here
+translate directly into slower experiment sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_model
+from repro.rng import RngFactory
+
+BATCH = 32
+INPUT_DIM = 14 * 14
+
+
+def _setup(name, **kwargs):
+    root = RngFactory(1)
+    model = build_model(name, INPUT_DIM, 10, root.get("m"), **kwargs)
+    rng = root.get("d")
+    x = rng.normal(size=(BATCH, INPUT_DIM))
+    y = rng.integers(0, 10, size=BATCH)
+    w = model.get_params()
+    return model, w, x, y
+
+
+@pytest.mark.benchmark(group="nn-throughput")
+def test_logreg_loss_and_grad(benchmark):
+    model, w, x, y = _setup("logreg")
+    loss, grad = benchmark(model.loss_and_grad, w, x, y)
+    assert np.isfinite(loss)
+    assert grad.shape == w.shape
+
+
+@pytest.mark.benchmark(group="nn-throughput")
+def test_mlp_loss_and_grad(benchmark):
+    model, w, x, y = _setup("mlp", hidden=(64,))
+    loss, grad = benchmark(model.loss_and_grad, w, x, y)
+    assert np.isfinite(loss)
+
+
+@pytest.mark.benchmark(group="nn-throughput")
+def test_cnn_loss_and_grad(benchmark):
+    model, w, x, y = _setup("cnn", image_shape=(14, 14, 1), cnn_scale=0.5)
+    loss, grad = benchmark(model.loss_and_grad, w, x, y)
+    assert np.isfinite(loss)
+
+
+@pytest.mark.benchmark(group="nn-throughput")
+def test_mlp_inference(benchmark):
+    model, w, x, y = _setup("mlp", hidden=(64,))
+    preds = benchmark(model.predict, w, x)
+    assert preds.shape == (BATCH,)

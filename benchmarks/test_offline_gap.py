@@ -1,0 +1,83 @@
+"""Theory bench — online FedL vs the hindsight (offline P1) optimum.
+
+Runs FedL online, logging every epoch's realized latencies, prices, and
+availability, then solves the budget-coupled offline problem on the SAME
+trajectory with the DP of :mod:`repro.core.offline`.  The ratio of FedL's
+realized selection latency to the hindsight optimum quantifies the price
+of 0-lookahead + learning — the quantity the paper's regret analysis
+bounds (here against the stronger, budget-coupled benchmark).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.offline import offline_optimum
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+class RecordingPolicy:
+    """Wraps a policy, logging the realized environment per epoch."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.tau_log = []
+        self.cost_log = []
+        self.avail_log = []
+        self.selected_log = []
+
+    def select(self, ctx):
+        self.cost_log.append(ctx.costs.copy())
+        self.avail_log.append(ctx.available.copy())
+        return self.inner.select(ctx)
+
+    def update(self, feedback):
+        self.tau_log.append(feedback.tau_realized.copy())
+        self.selected_log.append(feedback.selected.copy())
+        self.inner.update(feedback)
+
+
+@pytest.mark.benchmark(group="theory")
+def test_online_vs_offline_gap(benchmark, emit):
+    def run():
+        cfg = experiment_config(
+            budget=800.0, num_clients=20, max_epochs=40, seed=17
+        )
+        pol = RecordingPolicy(
+            make_policy("FedL", cfg, RngFactory(17).get("p"))
+        )
+        run_experiment(pol, cfg)
+        # Per-iteration online selection latency over the logged epochs.
+        online = sum(
+            float(tau[sel].max())
+            for tau, sel in zip(pol.tau_log, pol.selected_log)
+            if sel.any()
+        )
+        offline, masks = offline_optimum(
+            pol.tau_log,
+            pol.cost_log,
+            [a[: len(pol.tau_log)] for a in pol.avail_log[: len(pol.tau_log)]],
+            budget=cfg.budget,
+            n=cfg.min_participants,
+            grid_points=400,
+        )
+        epochs_run = sum(1 for m in masks if m.any())
+        return online, offline, len(pol.tau_log), epochs_run
+
+    online, offline, online_epochs, offline_epochs = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "[thm-offline-gap]\n"
+        f"  online FedL selection latency : {online:.3f} s over {online_epochs} epochs\n"
+        f"  hindsight optimum             : {offline:.3f} s over {offline_epochs} epochs\n"
+        f"  online/offline ratio          : {online / max(offline, 1e-9):.2f}x"
+    )
+    # The hindsight optimum can run at least as many epochs...
+    assert offline_epochs >= online_epochs
+    # ...and online stays within a moderate constant of it (sublinear
+    # regret means this ratio shrinks with horizon; at 40 epochs a
+    # single-digit factor is the expected regime).
+    assert online <= 25.0 * max(offline, 1e-9)

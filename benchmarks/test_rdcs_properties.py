@@ -1,0 +1,49 @@
+"""Theory bench — Theorem 3: RDCS marginal preservation, plus the
+selection-count concentration that motivates dependent rounding.
+
+Also times the rounding itself (it sits on the per-epoch critical path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import independent_round, rdcs_round
+
+TRIALS = 20_000
+
+
+@pytest.mark.benchmark(group="theory")
+def test_rdcs_marginals_and_concentration(benchmark, emit):
+    rng = np.random.default_rng(42)
+    x = rng.uniform(0.05, 0.95, size=12)
+    x = x / x.sum() * 5.0          # fractional selection summing to n = 5
+    x = np.clip(x, 0.0, 1.0)
+
+    def run():
+        acc = np.zeros_like(x)
+        sums_rdcs = np.empty(TRIALS)
+        sums_ind = np.empty(TRIALS)
+        for i in range(TRIALS):
+            r = rdcs_round(x, rng)
+            acc += r
+            sums_rdcs[i] = r.sum()
+            sums_ind[i] = independent_round(x, rng).sum()
+        return acc / TRIALS, sums_rdcs, sums_ind
+
+    marginals, sums_rdcs, sums_ind = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    max_dev = float(np.max(np.abs(marginals - x)))
+    emit(
+        "[thm-rdcs] Theorem 3 check over "
+        f"{TRIALS} trials\n"
+        f"  max |E[x_k] - x̃_k|      : {max_dev:.4f}\n"
+        f"  selection-count std RDCS : {sums_rdcs.std():.3f}"
+        f"  (sum preserved: {np.allclose(sums_rdcs, x.sum())})\n"
+        f"  selection-count std indep: {sums_ind.std():.3f}"
+    )
+    # Theorem 3: marginals preserved (Monte-Carlo tolerance).
+    sigma = np.sqrt(x * (1 - x) / TRIALS)
+    assert np.all(np.abs(marginals - x) < 4.0 * sigma + 1e-3)
+    # Dependent rounding concentrates the participation count.
+    assert sums_rdcs.std() < 0.05
+    assert sums_ind.std() > 3 * max(sums_rdcs.std(), 1e-9)

@@ -1,0 +1,54 @@
+"""Robustness bench — client-crash injection sweep.
+
+Sweeps the mid-round failure probability and reports how FedL's
+convergence degrades.  The online machinery must stay stable: duals
+nonnegative, budget accounting exact, graceful accuracy degradation (no
+collapse) — the failure-handling contract of the runner.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+FAILURE_RATES = (0.0, 0.25, 0.5)
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_failure_rate_sweep(benchmark, emit):
+    def run():
+        out = {}
+        for prob in FAILURE_RATES:
+            cfg = experiment_config(
+                budget=800.0, num_clients=20, max_epochs=40, seed=19
+            )
+            cfg = cfg.replace(
+                population=dataclasses.replace(cfg.population, failure_prob=prob)
+            )
+            pol = make_policy("FedL", cfg, RngFactory(19).get(f"p.{prob}"))
+            res = run_experiment(pol, cfg)
+            out[prob] = (res.trace, np.all(pol.mu >= 0))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["[robustness-failures] crash prob -> final acc / failed rentals"]
+    for prob, (tr, duals_ok) in results.items():
+        failed = int(tr.column("num_failed").sum())
+        lines.append(
+            f"  p={prob:4.2f}: acc={tr.final_accuracy:.3f}"
+            f"  failures={failed:3d}  epochs={len(tr)}"
+        )
+    emit("\n".join(lines))
+    for prob, (tr, duals_ok) in results.items():
+        assert duals_ok, prob
+        assert tr.total_spend <= 800.0 + 1e-6
+        # Graceful degradation: even at 50% crash rate training progresses.
+        assert tr.final_accuracy > 0.25, prob
+    # Failure counts increase with the rate.
+    f0 = results[0.0][0].column("num_failed").sum()
+    f5 = results[0.5][0].column("num_failed").sum()
+    assert f0 == 0 and f5 > 0

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs (`pip install -e . --no-use-pep517`)
+in offline environments lacking the `wheel` package. Metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""FedL reproduction: online client selection for federated edge learning
+under budget constraint (Su et al., ICPP 2022).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the FedL controller, online learner, RDCS rounding,
+  regret/fit machinery, and the fairness extension.
+* :mod:`repro.experiments` — scenario builders, the budget-driven
+  experiment loop, figure/table regeneration.
+* :mod:`repro.baselines` — FedAvg, FedCS, Pow-d, UCB, oracle.
+* substrates: :mod:`repro.nn`, :mod:`repro.fl`, :mod:`repro.net`,
+  :mod:`repro.env`, :mod:`repro.datasets`, :mod:`repro.solvers`.
+"""
+
+from repro.config import ExperimentConfig, FedLConfig
+from repro.rng import RngFactory
+
+__version__ = "1.0.0"
+
+__all__ = ["ExperimentConfig", "FedLConfig", "RngFactory", "__version__"]

@@ -1,0 +1,48 @@
+"""Client-selection policies: the paper's three baselines plus oracles.
+
+All policies implement the :class:`repro.baselines.base.SelectionPolicy`
+protocol with the paper's **0-lookahead** contract: at decision time a
+policy sees only *past* realizations (last epoch's latencies, losses,
+accuracies) plus the static catalogue (costs, availability, budget state).
+
+* :mod:`repro.baselines.fedavg` — uniform random selection of n clients
+  (McMahan et al. [19]).
+* :mod:`repro.baselines.fedcs` — deadline-greedy: pack as many clients as
+  fit a per-epoch deadline, fastest first (Nishio & Yonetani [21]).
+* :mod:`repro.baselines.pow_d` — power-of-choice: sample d candidates,
+  keep the n with the largest local losses (Cho et al. [5]).
+* :mod:`repro.baselines.oracle` — per-slot offline optimum with true
+  current-epoch inputs (regret reference; explicitly 1-lookahead).
+
+FedL itself lives in :mod:`repro.core.fedl` and implements the same
+protocol.
+"""
+
+from repro.baselines.base import (
+    Decision,
+    EpochContext,
+    RoundFeedback,
+    SelectionPolicy,
+)
+from repro.baselines.fedavg import FedAvgPolicy
+from repro.baselines.fedcs import FedCSPolicy
+from repro.baselines.pow_d import PowDPolicy
+from repro.baselines.oracle import GreedyOraclePolicy
+from repro.baselines.ucb import UCBPolicy
+from repro.baselines.overselect import OverSelectPolicy
+from repro.baselines.auction import AuctionResult, run_procurement_auction
+
+__all__ = [
+    "Decision",
+    "EpochContext",
+    "RoundFeedback",
+    "SelectionPolicy",
+    "FedAvgPolicy",
+    "FedCSPolicy",
+    "PowDPolicy",
+    "GreedyOraclePolicy",
+    "UCBPolicy",
+    "OverSelectPolicy",
+    "AuctionResult",
+    "run_procurement_auction",
+]

@@ -1,0 +1,118 @@
+"""Truthful procurement (reverse) auction for client rental.
+
+The paper's related work includes incentive mechanisms — Zhou et al. [33]
+design "a truthful procurement auction for incentivizing heterogeneous
+clients".  This module implements the classic single-round version of
+that machinery so the repository covers the incentive side of the client
+market the paper's cost model abstracts away:
+
+* each client submits a **bid** (its claimed per-epoch rental cost; the
+  true cost is private),
+* the server scores clients by ``bid / quality`` (quality = any
+  nonnegative merit, e.g. inverse latency or data volume) and procures
+  the ``n`` best,
+* winners are paid their **critical value** — the highest bid at which
+  they would still have won (the procurement analogue of second-price) —
+  capped by budget feasibility.
+
+With critical-value payments, truthful bidding is a dominant strategy
+(Myerson): the property tests verify monotonicity, individual
+rationality (payment >= bid >= true cost), and that misreporting never
+helps a bidder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AuctionResult", "run_procurement_auction"]
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Winners and payments of one procurement auction."""
+
+    winners: np.ndarray       # (M,) bool
+    payments: np.ndarray      # (M,) payment per client (0 for losers)
+    total_payment: float
+    feasible: bool            # True if the payments fit the budget
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "winners", np.asarray(self.winners, dtype=bool))
+        object.__setattr__(self, "payments", np.asarray(self.payments, dtype=float))
+
+
+def run_procurement_auction(
+    bids: np.ndarray,
+    quality: np.ndarray,
+    n: int,
+    budget: Optional[float] = None,
+) -> AuctionResult:
+    """Score-based procurement with critical-value payments.
+
+    Parameters
+    ----------
+    bids:
+        Claimed per-epoch costs (positive).
+    quality:
+        Nonnegative merit per client; higher is better.  Score =
+        ``bid / quality`` (infinite for zero quality → never procured
+        unless needed to fill ``n``).
+    n:
+        Number of clients to procure.
+    budget:
+        Optional cap on the total payment; if the critical payments
+        exceed it, the result is returned with ``feasible=False`` (the
+        caller decides whether to skip the epoch — payments cannot be
+        scaled down without breaking truthfulness).
+
+    Returns
+    -------
+    AuctionResult
+        ``payments[k]`` for a winner k is ``score_{n+1} · quality_k``
+        (the bid at which k would drop to position n+1); when there is no
+        (n+1)-th bidder the winner is paid its own bid (no competition →
+        no information to cap with).
+    """
+    bids = np.asarray(bids, dtype=float)
+    quality = np.asarray(quality, dtype=float)
+    m = bids.size
+    if quality.shape != (m,):
+        raise ValueError("bids and quality must share a shape")
+    if np.any(bids <= 0):
+        raise ValueError("bids must be positive")
+    if np.any(quality < 0):
+        raise ValueError("quality must be nonnegative")
+    if not (1 <= n <= m):
+        raise ValueError("n must be in [1, M]")
+
+    with np.errstate(divide="ignore"):
+        scores = np.where(quality > 0, bids / np.where(quality > 0, quality, 1.0), np.inf)
+    order = np.argsort(scores, kind="stable")
+    winners_idx = order[:n]
+    winners = np.zeros(m, dtype=bool)
+    winners[winners_idx] = True
+
+    payments = np.zeros(m)
+    if n < m and np.isfinite(scores[order[n]]):
+        threshold = float(scores[order[n]])
+        payments[winners_idx] = threshold * quality[winners_idx]
+        # A winner with zero quality (possible only when fewer than n
+        # finite-score clients exist) is paid its bid.
+        zero_q = winners & (quality == 0)
+        payments[zero_q] = bids[zero_q]
+    else:
+        # No losing bidder to define the critical value.
+        payments[winners_idx] = bids[winners_idx]
+    # Critical payments never undercut the winner's own bid.
+    payments[winners_idx] = np.maximum(
+        payments[winners_idx], bids[winners_idx]
+    )
+    total = float(payments.sum())
+    feasible = budget is None or total <= budget + 1e-9
+    return AuctionResult(
+        winners=winners, payments=payments, total_payment=total, feasible=feasible
+    )

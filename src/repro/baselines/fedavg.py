@@ -1,0 +1,43 @@
+"""FedAvg selection baseline (McMahan et al. [19]).
+
+"The server randomly selects participants to train the model" — uniform
+random choice of ``n`` available clients per epoch, fixed iteration count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Decision, EpochContext, RoundFeedback, enforce_feasibility
+
+__all__ = ["FedAvgPolicy"]
+
+
+class FedAvgPolicy:
+    """Uniform random n-client selection."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        iterations: int = 2,
+        sample_size: int | None = None,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.name = "FedAvg"
+        self.rng = rng
+        self.iterations = iterations
+        self.sample_size = sample_size  # default: exactly n
+
+    def select(self, ctx: EpochContext) -> Decision:
+        avail = np.flatnonzero(ctx.available)
+        want = self.sample_size if self.sample_size is not None else ctx.min_participants
+        want = min(max(want, ctx.min_participants), avail.size)
+        pick = self.rng.choice(avail, size=want, replace=False)
+        mask = np.zeros(ctx.num_clients, dtype=bool)
+        mask[pick] = True
+        mask = enforce_feasibility(mask, ctx, self.rng)
+        return Decision(selected=mask, iterations=self.iterations)
+
+    def update(self, feedback: RoundFeedback) -> None:
+        """FedAvg is stateless."""

@@ -1,0 +1,57 @@
+"""Power-of-choice selection baseline (Cho et al. [5]).
+
+Pow-d samples a candidate set of ``d`` available clients uniformly at
+random, then keeps the ``n`` candidates with the **largest** current local
+losses — biasing participation toward clients the model currently serves
+worst ("emphasizes selection fairness ... selects clients with larger
+local losses").
+
+Local losses come from ``ctx.local_losses``, i.e. the most recent
+observation of each client's loss at the current global model (NaN for
+clients never yet probed; NaNs rank last).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Decision, EpochContext, RoundFeedback, enforce_feasibility
+
+__all__ = ["PowDPolicy"]
+
+
+class PowDPolicy:
+    """Sample d candidates, keep the n with the largest local loss."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        d: int = 15,
+        iterations: int = 2,
+    ) -> None:
+        if d < 1:
+            raise ValueError("d must be >= 1")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.name = "Pow-d"
+        self.rng = rng
+        self.d = d
+        self.iterations = iterations
+
+    def select(self, ctx: EpochContext) -> Decision:
+        avail = np.flatnonzero(ctx.available)
+        d = min(self.d, avail.size)
+        candidates = self.rng.choice(avail, size=d, replace=False)
+        losses = ctx.local_losses[candidates]
+        # NaN (never observed) sorts last: replace with -inf so observed
+        # high-loss clients win; if everything is NaN fall back to random.
+        keyed = np.where(np.isnan(losses), -np.inf, losses)
+        n = min(ctx.min_participants, d)
+        top = candidates[np.argsort(-keyed, kind="stable")[:n]]
+        mask = np.zeros(ctx.num_clients, dtype=bool)
+        mask[top] = True
+        mask = enforce_feasibility(mask, ctx, self.rng)
+        return Decision(selected=mask, iterations=self.iterations)
+
+    def update(self, feedback: RoundFeedback) -> None:
+        """Stateless; losses arrive through the context."""

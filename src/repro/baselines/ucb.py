@@ -1,0 +1,79 @@
+"""UCB multi-armed-bandit client selection (the paper's reference [30]
+class: Xia et al., "Multi-armed bandit-based client scheduling for
+federated learning").
+
+Each client is an arm; pulling it (selecting it) reveals its
+per-iteration latency, and the reward is the negative latency.  Per
+epoch the policy picks the ``n`` available arms with the highest upper
+confidence bound
+
+    UCB_k = r̄_k + c · sqrt( ln(t+1) / N_k ),
+
+with never-pulled arms ranked first (infinite bonus).  Honest bandit
+feedback: only *participants'* realized latencies update the statistics —
+unlike FedL, the policy does not use the passively-observed latencies of
+unselected clients, which is exactly the exploration/exploitation
+handicap the bandit formulation carries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Decision, EpochContext, RoundFeedback, enforce_feasibility
+
+__all__ = ["UCBPolicy"]
+
+
+class UCBPolicy:
+    """UCB1 over clients with negative-latency rewards."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        rng: np.random.Generator,
+        exploration: float = 0.5,
+        iterations: int = 2,
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        if exploration < 0:
+            raise ValueError("exploration must be nonnegative")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.name = "UCB"
+        self.rng = rng
+        self.exploration = exploration
+        self.iterations = iterations
+        self.pulls = np.zeros(num_clients, dtype=np.int64)
+        self.mean_reward = np.zeros(num_clients)
+        self.t = 0
+
+    def _scores(self, available: np.ndarray) -> np.ndarray:
+        bonus = np.where(
+            self.pulls > 0,
+            self.exploration
+            * np.sqrt(np.log(self.t + 1.0) / np.maximum(self.pulls, 1)),
+            np.inf,
+        )
+        scores = self.mean_reward + bonus
+        return np.where(available, scores, -np.inf)
+
+    def select(self, ctx: EpochContext) -> Decision:
+        scores = self._scores(ctx.available)
+        n = min(ctx.min_participants, int(ctx.available.sum()))
+        # Random tie-breaking among equal scores (e.g. many unexplored arms).
+        jitter = self.rng.random(scores.size) * 1e-9
+        order = np.argsort(-(scores + jitter), kind="stable")
+        mask = np.zeros(ctx.num_clients, dtype=bool)
+        mask[order[:n]] = True
+        mask = enforce_feasibility(mask, ctx, self.rng)
+        return Decision(selected=mask, iterations=self.iterations)
+
+    def update(self, feedback: RoundFeedback) -> None:
+        self.t += 1
+        sel = np.flatnonzero(feedback.selected)
+        for k in sel:
+            reward = -float(feedback.tau_realized[k])
+            self.pulls[k] += 1
+            self.mean_reward[k] += (reward - self.mean_reward[k]) / self.pulls[k]

@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro run      --policy FedL --dataset fmnist --budget 600
+    python -m repro compare  --dataset fmnist --budget 1200 [--non-iid]
+    python -m repro sweep    --dataset fmnist --budgets 300 800 2000
+    python -m repro regret   --horizons 25 50 100
+
+``run``/``compare``/``sweep`` accept ``--save out.json`` to persist the
+traces (see :mod:`repro.experiments.persistence`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.figures import accuracy_vs_time, budget_sweep, run_policy_suite
+from repro.experiments.persistence import save_traces
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import POLICY_NAMES, experiment_config, make_policy
+from repro.experiments.tables import headline_claims
+from repro.rng import RngFactory
+
+__all__ = ["main", "build_parser"]
+
+ALL_POLICIES = POLICY_NAMES + ("Fair-FedL", "UCB", "Oracle")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedL reproduction: online client selection for "
+        "federated edge learning under budget constraint (ICPP '22).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="fmnist", choices=["fmnist", "cifar10"])
+        p.add_argument("--non-iid", action="store_true")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--clients", type=int, default=20)
+        p.add_argument("--participants", type=int, default=5)
+        p.add_argument("--epochs", type=int, default=80)
+        p.add_argument("--save", type=str, default=None, metavar="PATH.json")
+
+    p_run = sub.add_parser("run", help="run one policy end to end")
+    common(p_run)
+    p_run.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
+    p_run.add_argument("--budget", type=float, default=800.0)
+
+    p_cmp = sub.add_parser("compare", help="run the four-policy paper suite")
+    common(p_cmp)
+    p_cmp.add_argument("--budget", type=float, default=1200.0)
+    p_cmp.add_argument("--target", type=float, default=0.7,
+                       help="accuracy target for the completion-time table")
+    p_cmp.add_argument("--chart", action="store_true",
+                       help="render an ASCII accuracy-vs-time chart")
+
+    p_swp = sub.add_parser("sweep", help="budget sweep (paper Figs. 6-7)")
+    common(p_swp)
+    p_swp.add_argument("--budgets", type=float, nargs="+",
+                       default=[300.0, 800.0, 2000.0])
+
+    p_reg = sub.add_parser("regret", help="dynamic regret/fit growth check")
+    p_reg.add_argument("--horizons", type=int, nargs="+", default=[25, 50, 100])
+    p_reg.add_argument("--seed", type=int, default=5)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = experiment_config(
+        dataset=args.dataset,
+        iid=not args.non_iid,
+        budget=args.budget,
+        seed=args.seed,
+        num_clients=args.clients,
+        min_participants=args.participants,
+        max_epochs=args.epochs,
+    )
+    policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
+    result = run_experiment(policy, cfg)
+    tr = result.trace
+    print(f"policy={tr.policy_name} epochs={len(tr)} stop={result.stop_reason}")
+    print(
+        f"final_accuracy={tr.final_accuracy:.4f} "
+        f"sim_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f}"
+    )
+    if args.save:
+        path = save_traces({tr.policy_name: tr}, args.save)
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    traces = run_policy_suite(
+        args.dataset,
+        iid=not args.non_iid,
+        budget=args.budget,
+        seed=args.seed,
+        num_clients=args.clients,
+        max_epochs=args.epochs,
+    )
+    series = accuracy_vs_time(traces)
+    print(
+        format_series(
+            series, "seconds", "accuracy",
+            title=f"accuracy vs time — {args.dataset}",
+        )
+    )
+    if args.chart:
+        from repro.experiments.plotting import ascii_chart
+
+        print()
+        print(ascii_chart(series, x_label="seconds", y_label="accuracy"))
+    rows = {
+        name: {
+            "final acc": round(tr.final_accuracy, 3),
+            f"t({args.target:.0%})": tr.time_to_accuracy(args.target),
+            "epochs": len(tr),
+            "spend": round(tr.total_spend, 1),
+        }
+        for name, tr in traces.items()
+    }
+    print()
+    print(format_table(rows, title="summary"))
+    claims = headline_claims(traces, target=args.target)
+    print(
+        f"\nFedL completion-time saving vs best baseline: "
+        f"{claims['time_saving_pct']:.0f}%"
+    )
+    if args.save:
+        path = save_traces(traces, args.save)
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    series = budget_sweep(
+        args.dataset,
+        iid=not args.non_iid,
+        budgets=args.budgets,
+        seed=args.seed,
+        num_clients=args.clients,
+        max_epochs=args.epochs,
+    )
+    print(
+        format_series(
+            series, "budget", "final loss",
+            title=f"budget impact — {args.dataset}",
+        )
+    )
+    return 0
+
+
+def _cmd_regret(args: argparse.Namespace) -> int:
+    from repro.core.online_learner import OnlineLearner
+    from repro.core.problem import EpochInputs, FedLProblem
+    from repro.core.regret import dynamic_fit, dynamic_regret
+
+    factory = RngFactory(args.seed)
+    m = 8
+    print(f"{'T':>6} {'Reg_d':>10} {'Fit_d':>10} {'Fit_d/T':>10}")
+    for horizon in args.horizons:
+        rng = factory.fresh(f"stream.{horizon}")
+        base_tau = rng.uniform(0.2, 2.0, m)
+        base_eta = rng.uniform(0.2, 0.7, m)
+        problems = []
+        for t in range(horizon):
+            drift = 0.2 * np.sin(2 * np.pi * t / 40.0 + np.arange(m))
+            problems.append(
+                FedLProblem(
+                    EpochInputs(
+                        tau=np.clip(base_tau + drift, 0.05, None),
+                        costs=rng.uniform(0.5, 3.0, m),
+                        available=np.ones(m, bool),
+                        eta_hat=np.clip(base_eta + 0.1 * drift, 0.0, 0.9),
+                        loss_gap=0.3,
+                        loss_sensitivity=np.full(m, -0.12),
+                        remaining_budget=1e6,
+                        min_participants=3,
+                    ),
+                    rho_max=6.0,
+                )
+            )
+        step = horizon ** (-1.0 / 3.0)
+        learner = OnlineLearner(m, beta=step, delta=step, rho_max=6.0)
+        decisions = []
+        for prob in problems:
+            phi = learner.descent_step(prob.inputs)
+            decisions.append(phi)
+            learner.dual_ascent(prob.h(phi))
+        reg, _ = dynamic_regret(problems, decisions)
+        fit = dynamic_fit(problems, decisions)
+        print(f"{horizon:>6} {reg:>10.2f} {fit:>10.2f} {fit / horizon:>10.3f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "regret": _cmd_regret,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""Configuration dataclasses for the FedL simulator.
+
+Groups the paper's experimental knobs (Sec. 6.1 "Basic Setting") into typed,
+validated config objects.  Defaults follow the paper where stated:
+
+* ``M = 100`` clients uniformly placed in a disc of radius 500 m,
+* path loss ``128.1 + 37.6 log10 d`` (d in km), 8 dB shadowing,
+* noise PSD ``N0 = -174`` dBm/Hz, bandwidth ``B = 20`` MHz,
+* CPU cycles/bit uniform in ``[10, 30]``, max CPU 2 GHz, tx power 10 dBm,
+* rental cost uniform in ``[0.1, 12]`` ("dynamic price of Amazon"),
+* availability i.i.d. Bernoulli per epoch.
+
+All configs are frozen; derived experiment variants are built with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "NetworkConfig",
+    "PopulationConfig",
+    "DataConfig",
+    "TrainingConfig",
+    "FedLConfig",
+    "ExperimentConfig",
+]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(msg)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Wireless edge-network parameters (paper Sec. 3.2 / 6.1)."""
+
+    bandwidth_hz: float = 20e6          # B, total FDMA bandwidth
+    noise_psd_dbm_hz: float = -174.0    # N0
+    cell_radius_m: float = 500.0
+    shadowing_std_db: float = 8.0
+    shadowing_corr: float = 0.9         # AR(1) epoch-to-epoch correlation
+                                        # (shadowing is quasi-static; 0 = the
+                                        # i.i.d.-per-epoch extreme)
+    tx_power_dbm: float = 10.0          # p_k^max for every client
+    upload_bits: float = 80e3           # s, per-iteration model upload size
+    min_distance_m: float = 1.0         # keep path loss finite at the center
+    bandwidth_policy: str = "equal"     # "equal" | "min_latency" FDMA split
+    mac: str = "fdma"                   # "fdma" (paper) | "tdma" sequential slots
+
+    def __post_init__(self) -> None:
+        _require(self.bandwidth_hz > 0, "bandwidth_hz must be positive")
+        _require(self.cell_radius_m > 0, "cell_radius_m must be positive")
+        _require(self.upload_bits > 0, "upload_bits must be positive")
+        _require(
+            0 < self.min_distance_m <= self.cell_radius_m,
+            "min_distance_m must be in (0, cell_radius_m]",
+        )
+        _require(
+            0.0 <= self.shadowing_corr < 1.0, "shadowing_corr must be in [0, 1)"
+        )
+        _require(
+            self.bandwidth_policy in ("equal", "min_latency"),
+            "unknown bandwidth_policy",
+        )
+        _require(self.mac in ("fdma", "tdma"), "unknown mac")
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Client fleet parameters (paper Sec. 6.1)."""
+
+    num_clients: int = 100              # M
+    cycles_per_bit_range: Tuple[float, float] = (10.0, 30.0)   # e_k
+    cpu_freq_hz: float = 2e9            # f_k^max
+    cpu_freq_jitter: float = 0.5        # heterogeneity: freq ~ U[(1-j), 1]*max
+    cost_range: Tuple[float, float] = (0.1, 12.0)              # c_{t,k}
+    availability_prob: float = 0.8      # per-epoch availability probability
+    availability_model: str = "bernoulli"   # "bernoulli" (paper) | "markov"
+    availability_sojourn: float = 5.0   # mean on-stretch (markov model only)
+    bits_per_sample: float = 512.0      # dataset sample size in bits
+    cost_volatility: float = 0.15       # AR(1) innovation scale for prices
+    failure_prob: float = 0.0           # per-epoch chance a SELECTED client
+                                        # crashes mid-round (update lost,
+                                        # rent still paid)
+
+    def __post_init__(self) -> None:
+        _require(self.num_clients >= 1, "need at least one client")
+        lo, hi = self.cycles_per_bit_range
+        _require(0 < lo <= hi, "cycles_per_bit_range must be 0 < lo <= hi")
+        lo, hi = self.cost_range
+        _require(0 < lo <= hi, "cost_range must be 0 < lo <= hi")
+        _require(0 < self.availability_prob <= 1, "availability_prob in (0,1]")
+        _require(
+            self.availability_model in ("bernoulli", "markov"),
+            "unknown availability_model",
+        )
+        _require(self.availability_sojourn >= 1.0, "availability_sojourn >= 1")
+        _require(
+            not (self.availability_model == "markov" and self.availability_prob >= 1.0),
+            "markov availability needs prob < 1",
+        )
+        _require(0 <= self.cpu_freq_jitter < 1, "cpu_freq_jitter in [0,1)")
+        _require(self.cost_volatility >= 0, "cost_volatility must be >= 0")
+        _require(0.0 <= self.failure_prob < 1.0, "failure_prob in [0,1)")
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Dataset / partition parameters (paper Sec. 6.1 "Data")."""
+
+    dataset: str = "fmnist"             # "fmnist" | "cifar10"
+    iid: bool = True
+    partition: str = "paper"            # non-IID scheme: "paper" | "dirichlet"
+    non_iid_principal_frac: float = 0.8  # share drawn from the principal class pool
+    dirichlet_alpha: float = 0.5        # concentration for the dirichlet scheme
+    samples_per_client: int = 60        # mean per-epoch local dataset size
+    poisson_arrivals: bool = True       # data volume ~ Poisson(mean) per epoch
+    num_classes: int = 10
+    test_samples: int = 1000
+    feature_noise: float = 0.35         # generator noise scale (task difficulty)
+    downscale: int = 2                  # spatial downscale factor (1 = the
+                                        # paper's full 28×28 / 32×32 images)
+
+    def __post_init__(self) -> None:
+        _require(self.dataset in ("fmnist", "cifar10"), "unknown dataset")
+        _require(
+            0.0 <= self.non_iid_principal_frac <= 1.0,
+            "non_iid_principal_frac in [0,1]",
+        )
+        _require(self.samples_per_client >= 1, "samples_per_client >= 1")
+        _require(self.num_classes >= 2, "num_classes >= 2")
+        _require(self.test_samples >= 1, "test_samples >= 1")
+        _require(self.downscale in (1, 2, 4), "downscale must be 1, 2 or 4")
+        _require(self.partition in ("paper", "dirichlet"), "unknown partition")
+        _require(self.dirichlet_alpha > 0, "dirichlet_alpha must be positive")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Local-training / DANE parameters (paper Sec. 3.1-2)."""
+
+    model: str = "mlp"                  # "logreg" | "mlp" | "cnn"
+    hidden_units: Tuple[int, ...] = (64,)
+    local_solver: str = "dane"          # "dane" (paper) | "fedprox" [15]
+    momentum: float = 0.0               # heavy-ball inner momentum [17]
+    aggregation: str = "uniform"        # "uniform" (paper) | "weighted" FedAvg
+    compression: str = "none"           # "none" | "topk" | "quantize" | "cmfl" [28]
+    topk_fraction: float = 0.1
+    quantize_bits: int = 8
+    cmfl_threshold: float = 0.6
+    dp_noise_multiplier: Optional[float] = None   # None = no DP; σ of the
+                                                  # Gaussian mechanism [29]
+    dp_clip_norm: float = 1.0           # Δ, per-upload L2 sensitivity
+    local_sgd_steps: int = 10           # max gradient steps j per iteration
+                                        # (cap; the η_t target stops earlier)
+    sgd_lr: float = 0.05                # α
+    sigma1: float = 1.0                 # DANE proximal weight σ1
+    sigma2: float = 1.0                 # DANE gradient-correction weight σ2
+    batch_size: int = 32
+    l2_reg: float = 1e-4
+    theta0: float = 0.1                 # global convergence accuracy θ0
+    theta: float = 0.5                  # desired global-loss upper bound θ
+
+    def __post_init__(self) -> None:
+        _require(self.model in ("logreg", "mlp", "cnn"), "unknown model")
+        _require(self.local_sgd_steps >= 1, "local_sgd_steps >= 1")
+        _require(self.sgd_lr > 0, "sgd_lr must be positive")
+        _require(self.sigma1 >= 0 and self.sigma2 >= 0, "sigmas must be >= 0")
+        _require(0 < self.theta0 < 1, "theta0 in (0,1)")
+        _require(self.theta > 0, "theta must be positive")
+        _require(self.local_solver in ("dane", "fedprox"), "unknown local_solver")
+        _require(0.0 <= self.momentum < 1.0, "momentum in [0,1)")
+        _require(self.aggregation in ("uniform", "weighted"), "unknown aggregation")
+        _require(
+            self.compression in ("none", "topk", "quantize", "cmfl"),
+            "unknown compression",
+        )
+        _require(0.0 < self.topk_fraction <= 1.0, "topk_fraction in (0,1]")
+        _require(1 <= self.quantize_bits <= 32, "quantize_bits in [1,32]")
+        _require(0.0 <= self.cmfl_threshold <= 1.0, "cmfl_threshold in [0,1]")
+        if self.dp_noise_multiplier is not None:
+            _require(self.dp_noise_multiplier > 0, "dp_noise_multiplier > 0")
+        _require(self.dp_clip_norm > 0, "dp_clip_norm > 0")
+
+
+@dataclass(frozen=True)
+class FedLConfig:
+    """FedL controller hyper-parameters (Sec. 4.3 / Corollary 1)."""
+
+    beta: Optional[float] = None        # primal step size; None → step_scale·T_C^{-1/3}
+    delta: Optional[float] = None       # dual step size;  None → step_scale·T_C^{-1/3}
+    step_scale: float = 3.0             # the O(·) constant in Corollary 1's rule
+    rho_max: float = 8.0                # cap on ρ_t = 1/(1-η_t)
+    solver: str = "projected_gradient"  # "projected_gradient" | "interior_point"
+    solver_max_iters: int = 200
+    solver_tol: float = 1e-7
+    rounding: str = "rdcs"              # "rdcs" | "independent"
+    objective: str = "sum"              # "sum" (paper eq. 4) | "softmax" (ablation)
+
+    def __post_init__(self) -> None:
+        if self.beta is not None:
+            _require(self.beta > 0, "beta must be positive")
+        if self.delta is not None:
+            _require(self.delta > 0, "delta must be positive")
+        _require(self.step_scale > 0, "step_scale must be positive")
+        _require(self.rho_max >= 1, "rho_max must be >= 1 (ρ = 1/(1-η) >= 1)")
+        _require(
+            self.solver in ("projected_gradient", "interior_point"),
+            "unknown solver",
+        )
+        _require(self.rounding in ("rdcs", "independent"), "unknown rounding")
+        _require(self.objective in ("sum", "softmax"), "unknown objective")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Top-level experiment description."""
+
+    seed: int = 0
+    budget: float = 400.0               # C
+    min_participants: int = 5           # n
+    max_epochs: int = 500               # safety cap on the budget-driven loop
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    data: DataConfig = field(default_factory=DataConfig)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    fedl: FedLConfig = field(default_factory=FedLConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.budget > 0, "budget must be positive")
+        _require(self.min_participants >= 1, "min_participants >= 1")
+        _require(
+            self.min_participants <= self.population.num_clients,
+            "min_participants cannot exceed the number of clients",
+        )
+        _require(self.max_epochs >= 1, "max_epochs >= 1")
+
+    def replace(self, **kwargs) -> "ExperimentConfig":
+        """Convenience alias for :func:`dataclasses.replace`."""
+        return dataclasses.replace(self, **kwargs)

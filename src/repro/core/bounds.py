@@ -1,0 +1,105 @@
+"""Theoretical bound values (paper Lemma 2, Theorem 2, Corollary 1).
+
+These functions compute the *numerical values* of the paper's bounds for a
+given trajectory so the benchmark harness can verify the theory on
+simulated streams:
+
+* :func:`mu_hat_bound` — Lemma 2, eq. (12): the uniform dual bound
+  ``‖μ̂‖ = δ G_h + (2 G_f R + R²/(2β) + δ G_h²/2) / (ξ − V̂(h))``.
+* :func:`regret_bound` — Theorem 2, eq. (13a): ``R_{T_C}``.
+* :func:`path_length` — eq. (13b): ``V({Φ*_t}) = Σ ‖Φ*_t − Φ*_{t−1}‖``.
+* :func:`constraint_variation` — eq. (13c): ``V({h_t})`` via sampling the
+  feasible box (the exact max over X̃ is itself an optimization; a sampled
+  max is a lower bound, which is the conservative direction for checking
+  the regret bound holds).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.phi import Phi
+from repro.core.problem import FedLProblem
+
+__all__ = ["mu_hat_bound", "regret_bound", "path_length", "constraint_variation"]
+
+
+def mu_hat_bound(
+    delta: float,
+    beta: float,
+    g_f: float,
+    g_h: float,
+    radius: float,
+    xi: float,
+    v_hat_h: float,
+) -> float:
+    """Lemma 2 eq. (12).  Requires Assumption 2's ``ξ > V̂(h)``."""
+    if xi <= v_hat_h:
+        raise ValueError("Assumption 2 violated: need xi > V_hat(h)")
+    if min(delta, beta, g_f, g_h, radius) <= 0:
+        raise ValueError("all bound inputs must be positive")
+    return delta * g_h + (
+        2.0 * g_f * radius + radius**2 / (2.0 * beta) + delta * g_h**2 / 2.0
+    ) / (xi - v_hat_h)
+
+
+def regret_bound(
+    t_c: int,
+    beta: float,
+    delta: float,
+    g_f: float,
+    g_h: float,
+    radius: float,
+    mu_hat: float,
+    v_phi_star: float,
+    v_h: float,
+) -> float:
+    """Theorem 2 eq. (13a): the ``R_{T_C}`` upper bound on Reg_d."""
+    if t_c < 1:
+        raise ValueError("t_c must be >= 1")
+    return (
+        beta * g_f**2 * t_c / 2.0
+        + mu_hat * v_h
+        + delta * g_h**2 * t_c / 2.0
+        + radius * v_phi_star / beta
+        + radius**2 / (2.0 * beta)
+    )
+
+
+def path_length(optima: Sequence[Phi]) -> float:
+    """eq. (13b): ``Σ_t ‖Φ*_t − Φ*_{t−1}‖`` (first term against itself = 0)."""
+    total = 0.0
+    prev: Phi | None = None
+    for phi in optima:
+        if prev is not None:
+            total += phi.distance(prev)
+        prev = phi
+    return total
+
+
+def constraint_variation(
+    problems: Sequence[FedLProblem],
+    rng: np.random.Generator,
+    num_samples: int = 64,
+) -> float:
+    """eq. (13c): ``Σ_t max_Φ ‖[h_{t+1}(Φ) − h_t(Φ)]⁺‖`` by sampled max.
+
+    Samples Φ uniformly from each slot's box (a lower bound on the true
+    max over X̃, adequate for checking growth *rates*).
+    """
+    if len(problems) < 2:
+        return 0.0
+    total = 0.0
+    for prev, nxt in zip(problems[:-1], problems[1:]):
+        lo, hi = prev.box_bounds()
+        hi_s = np.where(np.isfinite(hi), hi, lo + 1.0)
+        best = 0.0
+        for _ in range(num_samples):
+            v = lo + (hi_s - lo) * rng.random(lo.size)
+            phi = Phi.from_vector(np.maximum(v, np.concatenate([np.zeros(lo.size - 1), [1.0]])))
+            diff = np.maximum(nxt.h(phi) - prev.h(phi), 0.0)
+            best = max(best, float(np.linalg.norm(diff)))
+        total += best
+    return total

@@ -1,0 +1,176 @@
+"""FedL controller (paper Alg. 1) as a SelectionPolicy.
+
+Wires together the online learner (eqs. 8-9), the RDCS rounding (Alg. 2),
+and the running estimates of the quantities the learner can only observe
+after acting:
+
+* ``η̂_k`` — per-client local convergence accuracy, exponential moving
+  average of the realized values (prior 0.5 before first observation),
+* ``loss_gap`` — latest ``F_t(w) − θ``,
+* ``loss_sensitivity`` — per-client EMA of the marginal loss improvement
+  attributed to participation (the linearized ``h0`` coefficients).
+
+Per epoch:
+
+1. ``select``: build :class:`EpochInputs` from the context + estimates,
+   run the descent step (8) to get ``Φ̃_{t+1}``, round ``x̃`` with RDCS,
+   repair feasibility, and return the decision with ``l_t = ceil(ρ)``.
+2. ``update``: refresh estimates with realized values and run the dual
+   ascent (9) on the realized ``h_t(Φ̃_t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Decision, EpochContext, RoundFeedback, enforce_feasibility
+from repro.config import FedLConfig
+from repro.core.online_learner import OnlineLearner
+from repro.core.phi import Phi
+from repro.core.problem import EpochInputs
+from repro.core.horizon import corollary1_step_size
+from repro.core.rounding import independent_round, rdcs_round
+
+__all__ = ["FedLPolicy"]
+
+#: Prior local accuracy before a client has ever been observed.
+ETA_PRIOR = 0.5
+#: EMA weight on the newest observation.
+EMA_WEIGHT = 0.4
+#: η̂ must stay strictly below 1 for ρ = 1/(1−η) to make sense.
+ETA_CLIP = 0.99
+
+
+class FedLPolicy:
+    """Online-learning client selection + iteration control."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        budget: float,
+        min_participants: int,
+        theta: float,
+        rng: np.random.Generator,
+        config: Optional[FedLConfig] = None,
+        cost_range: tuple[float, float] = (0.1, 12.0),
+    ) -> None:
+        cfg = config if config is not None else FedLConfig()
+        self.name = "FedL"
+        self.rng = rng
+        self.theta = float(theta)
+        self.config = cfg
+        c_lo, c_hi = cost_range
+        default_step = corollary1_step_size(
+            budget, min_participants, c_lo, c_hi, scale=cfg.step_scale
+        )
+        beta = cfg.beta if cfg.beta is not None else default_step
+        delta = cfg.delta if cfg.delta is not None else default_step
+        self.learner = OnlineLearner(
+            num_clients=num_clients,
+            beta=beta,
+            delta=delta,
+            rho_max=cfg.rho_max,
+            solver=cfg.solver,
+            solver_max_iters=cfg.solver_max_iters,
+            solver_tol=cfg.solver_tol,
+            # Start near the participation floor: early epochs then select
+            # roughly n clients (with RDCS providing the exploration).
+            x_init=min(1.0, min_participants / num_clients),
+            objective=cfg.objective,
+        )
+        # Observable-quantity estimates.
+        self.eta_hat = np.full(num_clients, ETA_PRIOR)
+        self.loss_gap = 1.0                     # optimistic "loss above θ" prior
+        self.loss_sensitivity = np.full(num_clients, -0.01)
+        self._last_pop_loss: Optional[float] = None
+        self._last_inputs: Optional[EpochInputs] = None
+
+    # ------------------------------------------------------------------ select --
+
+    def fractional_decision(self, ctx: EpochContext) -> tuple[Phi, np.ndarray]:
+        """Run the descent step; return (Φ̃_{t+1}, rounded-ready x̃).
+
+        Split out so extensions (e.g. the fairness variant) can bias the
+        fractional selection before rounding.
+        """
+        inputs = EpochInputs(
+            tau=np.nan_to_num(ctx.tau_last, nan=1.0, posinf=1e3),
+            costs=ctx.costs,
+            available=ctx.available,
+            eta_hat=np.clip(self.eta_hat, 0.0, ETA_CLIP),
+            loss_gap=self.loss_gap,
+            loss_sensitivity=self.loss_sensitivity,
+            remaining_budget=ctx.remaining_budget,
+            min_participants=ctx.min_participants,
+        )
+        self._last_inputs = inputs
+        phi = self.learner.descent_step(inputs)
+        x_frac = np.where(ctx.available, np.clip(phi.x, 0.0, 1.0), 0.0)
+        return phi, x_frac
+
+    def select(self, ctx: EpochContext) -> Decision:
+        phi, x_frac = self.fractional_decision(ctx)
+        if self.config.rounding == "rdcs":
+            x_int = rdcs_round(x_frac, self.rng)
+        else:
+            x_int = independent_round(x_frac, self.rng)
+        mask = x_int > 0.5
+        if not mask.any():
+            # Degenerate all-zeros rounding: fall back to the top fractions.
+            order = np.argsort(-x_frac, kind="stable")
+            mask = np.zeros_like(mask)
+            mask[order[: ctx.min_participants]] = True
+        mask = enforce_feasibility(mask, ctx, self.rng)
+        return Decision(
+            selected=mask,
+            iterations=phi.iterations,
+            rho=phi.rho,
+            fractional_x=x_frac,
+        )
+
+    # ------------------------------------------------------------------ update --
+
+    def update(self, feedback: RoundFeedback) -> None:
+        sel = feedback.selected
+        # η̂ EMA with realized local accuracies.
+        observed = np.isfinite(feedback.local_etas)
+        self.eta_hat[observed] = (
+            (1 - EMA_WEIGHT) * self.eta_hat[observed]
+            + EMA_WEIGHT * np.clip(feedback.local_etas[observed], 0.0, ETA_CLIP)
+        )
+        # Global-loss constraint bookkeeping.
+        new_gap = feedback.population_loss - self.theta
+        if self._last_pop_loss is not None:
+            improvement = self._last_pop_loss - feedback.population_loss
+            num_sel = max(1, int(sel.sum()))
+            per_client = -max(improvement, 0.0) / num_sel
+            self.loss_sensitivity[sel] = (
+                (1 - EMA_WEIGHT) * self.loss_sensitivity[sel]
+                + EMA_WEIGHT * per_client
+            )
+        self._last_pop_loss = feedback.population_loss
+        self.loss_gap = new_gap
+
+        # Dual ascent on the REALIZED h_t at the fractional decision Φ̃_t.
+        phi = self.learner.phi
+        eta_real = np.where(
+            np.isfinite(feedback.local_etas),
+            np.clip(feedback.local_etas, 0.0, ETA_CLIP),
+            self.eta_hat,
+        )
+        hk = eta_real * phi.x * phi.rho - phi.rho + 1.0
+        hk = np.where(sel | np.isfinite(feedback.local_etas), hk, 0.0)
+        h_realized = np.concatenate([[new_gap], hk])
+        self.learner.dual_ascent(h_realized)
+
+    # ---------------------------------------------------------------- accessors --
+
+    @property
+    def phi(self) -> Phi:
+        return self.learner.phi
+
+    @property
+    def mu(self) -> np.ndarray:
+        return self.learner.mu

@@ -1,0 +1,58 @@
+"""Stopping-time bounds and step-size rule (paper Sec. 4.2, Corollary 1).
+
+Given the long-term budget ``C`` and the per-epoch minimum of ``n``
+participants, the FL life cycle ends at an epoch ``T_C`` bounded by
+
+    C / (n · c_max)  <=  T_C  <=  C / (n · c_min),
+
+because each epoch spends at least ``n · c_min`` and at most ... well, at
+least ``n·c_min`` when thrifty and at least ``n·c_max`` never exceeded per
+forced participant.  Corollary 1 prescribes the step sizes
+``β = δ = O(T_C^{-1/3})`` that give ``Reg_d = O(T_C^{2/3})`` and
+``Fit_d = O(T_C^{2/3})``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = ["horizon_bounds", "corollary1_step_size"]
+
+
+def horizon_bounds(
+    budget: float,
+    min_participants: int,
+    cost_min: float,
+    cost_max: float,
+) -> Tuple[float, float]:
+    """``(T_lower, T_upper)`` bounds on the stopping epoch T_C."""
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    if min_participants < 1:
+        raise ValueError("min_participants must be >= 1")
+    if not (0 < cost_min <= cost_max):
+        raise ValueError("need 0 < cost_min <= cost_max")
+    lower = budget / (min_participants * cost_max)
+    upper = budget / (min_participants * cost_min)
+    return lower, upper
+
+
+def corollary1_step_size(
+    budget: float,
+    min_participants: int,
+    cost_min: float,
+    cost_max: float,
+    scale: float = 1.0,
+) -> float:
+    """``β = δ = scale · T̂_C^{−1/3}``.
+
+    Uses the geometric mean of the T_C bounds as the horizon estimate —
+    the paper only requires the *order* ``O(T_C^{-1/3})``, leaving the
+    constant as a tuning knob (``scale``).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    lower, upper = horizon_bounds(budget, min_participants, cost_min, cost_max)
+    t_hat = math.sqrt(lower * upper)
+    return scale * t_hat ** (-1.0 / 3.0)

@@ -1,0 +1,173 @@
+"""The online saddle-point learner (paper Sec. 4.3, eqs. 8-9).
+
+State: the fractional decision ``Φ̃_t`` and the Lagrange multiplier
+``μ_t ∈ R^{M+1}_{>=0}`` (one dual per row of ``h_t``).  Per epoch:
+
+* **Dual ascent** (eq. 9), using the *realized* constraint values:
+  ``μ_{t+1} = [μ_t + δ h_t(Φ̃_t)]⁺``.
+* **Modified descent** (eq. 8): with the newest observable surrogate of
+  ``f_t, h_t``, solve
+
+      min_Φ  ∇f_t(Φ̃_t)ᵀ(Φ − Φ̃_t) + μ_{t+1}ᵀ h_t(Φ) + ‖Φ − Φ̃_t‖²/(2β)
+
+  over the relaxed feasible set X̃ (box ∩ budget ∩ participation).  Two
+  interchangeable solvers: projected gradient (default, via Dykstra
+  projections) and the from-scratch interior-point filter line-search
+  method (the paper's reference [26]); tests assert they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.phi import Phi
+from repro.core.problem import EpochInputs, FedLProblem
+from repro.solvers.interior_point import solve_interior_point
+from repro.solvers.projected_gradient import projected_gradient
+
+__all__ = ["LearnerState", "OnlineLearner"]
+
+
+@dataclass
+class LearnerState:
+    """Mutable learner state carried across epochs."""
+
+    phi: Phi
+    mu: np.ndarray            # (M+1,) nonnegative duals
+
+    def __post_init__(self) -> None:
+        self.mu = np.asarray(self.mu, dtype=float)
+        if self.mu.shape != (self.phi.num_clients + 1,):
+            raise ValueError("mu must have M+1 entries")
+        if np.any(self.mu < 0):
+            raise ValueError("duals must be nonnegative")
+
+
+class OnlineLearner:
+    """Implements the alternating descent/ascent updates."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        beta: float,
+        delta: float,
+        rho_max: float = 8.0,
+        solver: str = "projected_gradient",
+        solver_max_iters: int = 200,
+        solver_tol: float = 1e-7,
+        x_init: float = 0.5,
+        objective: str = "sum",
+    ) -> None:
+        if beta <= 0 or delta <= 0:
+            raise ValueError("step sizes must be positive")
+        if solver not in ("projected_gradient", "interior_point"):
+            raise ValueError(f"unknown solver {solver!r}")
+        self.beta = beta
+        self.delta = delta
+        self.rho_max = float(rho_max)
+        self.solver = solver
+        self.solver_max_iters = solver_max_iters
+        self.solver_tol = solver_tol
+        self.objective = objective
+        # μ_1 = 0 (Lemma 2's initialization).  Φ starts with moderate
+        # selection fractions and a conservative iteration level (ρ = 2,
+        # the baselines' fixed value) rather than mid-box: the descent step
+        # only moves O(β) per epoch, so the starting point is the behaviour
+        # for the first ~1/β epochs.
+        rho0 = float(np.clip(2.0, 1.0, rho_max))
+        if not (0.0 <= x_init <= 1.0):
+            raise ValueError("x_init must be in [0, 1]")
+        self.state = LearnerState(
+            phi=Phi(x=np.full(num_clients, x_init), rho=rho0),
+            mu=np.zeros(num_clients + 1),
+        )
+
+    # -- eq. (9): dual ascent on realized constraint values -------------------------
+
+    def dual_ascent(self, h_realized: np.ndarray) -> np.ndarray:
+        """``μ ← [μ + δ h]⁺`` with the realized h_t(Φ̃_t)."""
+        h = np.asarray(h_realized, dtype=float)
+        if h.shape != self.state.mu.shape:
+            raise ValueError("h must have M+1 entries")
+        self.state.mu = np.maximum(self.state.mu + self.delta * h, 0.0)
+        return self.state.mu
+
+    # -- eq. (8): modified descent step --------------------------------------------
+
+    def descent_step(self, inputs: EpochInputs) -> Phi:
+        """Solve the per-epoch subproblem; updates and returns Φ̃_{t+1}."""
+        problem = FedLProblem(inputs, rho_max=self.rho_max, objective=self.objective)
+        phi_prev = self.state.phi
+        # If the fleet size changed (it cannot in this simulator) we would
+        # re-dimension here; assert instead.
+        if phi_prev.num_clients != inputs.num_clients:
+            raise ValueError("client count changed mid-run")
+        v_prev = phi_prev.to_vector()
+        grad_f_prev = problem.grad_f(phi_prev)
+        mu = self.state.mu
+
+        def objective(v: np.ndarray) -> float:
+            phi = Phi.from_vector(np.maximum(v, [*np.zeros(v.size - 1), 1.0]))
+            lin = float(grad_f_prev @ (v - v_prev))
+            pen = float(mu @ problem.h(phi))
+            prox = float(np.sum((v - v_prev) ** 2)) / (2.0 * self.beta)
+            return lin + pen + prox
+
+        def gradient(v: np.ndarray) -> np.ndarray:
+            phi = Phi.from_vector(np.maximum(v, [*np.zeros(v.size - 1), 1.0]))
+            return (
+                grad_f_prev
+                + problem.grad_mu_h(phi, mu)
+                + (v - v_prev) / self.beta
+            )
+
+        if self.solver == "projected_gradient":
+            res = projected_gradient(
+                objective,
+                gradient,
+                problem.project,
+                x0=v_prev,
+                max_iters=self.solver_max_iters,
+                tol=self.solver_tol,
+            )
+            v_new = res.x
+        else:
+            A, b = problem.constraint_matrix()
+
+            def hessian(v: np.ndarray) -> np.ndarray:
+                return problem.hess_mu_h(mu) + np.eye(v.size) / self.beta
+
+            res = solve_interior_point(
+                objective,
+                gradient,
+                hessian,
+                A,
+                b,
+                x0=v_prev,
+                x_interior=problem.interior_point(),
+                tol=self.solver_tol,
+                max_outer=20,
+            )
+            v_new = res.x
+        # Numerical guard: snap into the box.
+        lo, hi = problem.box_bounds()
+        v_new = np.clip(v_new, lo, hi)
+        self.state.phi = Phi.from_vector(v_new)
+        return self.state.phi
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def phi(self) -> Phi:
+        return self.state.phi
+
+    @property
+    def mu(self) -> np.ndarray:
+        return self.state.mu.copy()
+
+    def reset_phi(self, phi: Phi) -> None:
+        """Override the primal state (used after infeasible-epoch repairs)."""
+        if phi.num_clients != self.state.phi.num_clients:
+            raise ValueError("dimension mismatch")
+        self.state.phi = phi

@@ -1,0 +1,70 @@
+"""The aggregated decision vector Φ_t = [x_{t,1..M}, ρ_t] (paper Sec. 4.2).
+
+``x`` holds the (possibly fractional) selection of each of the M clients;
+``ρ = 1/(1−η)`` encodes the iteration-control decision.  The class provides
+the flat-vector view used by the solvers and convenience accessors used by
+the problem definitions, keeping index arithmetic in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Phi"]
+
+
+@dataclass(frozen=True)
+class Phi:
+    """Immutable decision point: selection fractions + iteration control."""
+
+    x: np.ndarray          # (M,) selection fractions in [0, 1]
+    rho: float             # ρ >= 1
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        if x.ndim != 1:
+            raise ValueError("x must be 1-D")
+        object.__setattr__(self, "x", x)
+        if not np.isfinite(self.rho) or self.rho < 1.0:
+            raise ValueError("rho must be finite and >= 1")
+
+    @property
+    def num_clients(self) -> int:
+        return self.x.size
+
+    @property
+    def eta(self) -> float:
+        """The maximal local accuracy η = 1 − 1/ρ implied by ρ."""
+        return 1.0 - 1.0 / self.rho
+
+    @property
+    def iterations(self) -> int:
+        """Integer iteration count l_t = ceil(ρ)."""
+        return int(np.ceil(self.rho - 1e-9))
+
+    # -- flat-vector interface (solvers see [x..., rho]) -------------------------
+
+    def to_vector(self) -> np.ndarray:
+        return np.concatenate([self.x, [self.rho]])
+
+    @staticmethod
+    def from_vector(v: np.ndarray) -> "Phi":
+        v = np.asarray(v, dtype=float)
+        if v.size < 2:
+            raise ValueError("vector must hold at least one client plus rho")
+        return Phi(x=v[:-1].copy(), rho=float(v[-1]))
+
+    def clip(self, rho_max: float = np.inf) -> "Phi":
+        """Project onto the box x ∈ [0,1]^M, ρ ∈ [1, rho_max]."""
+        return Phi(
+            x=np.clip(self.x, 0.0, 1.0),
+            rho=float(np.clip(self.rho, 1.0, rho_max)),
+        )
+
+    def distance(self, other: "Phi") -> float:
+        """Euclidean distance in the flat representation."""
+        if other.num_clients != self.num_clients:
+            raise ValueError("dimension mismatch")
+        return float(np.linalg.norm(self.to_vector() - other.to_vector()))

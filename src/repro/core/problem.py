@@ -1,0 +1,308 @@
+"""The reformulated per-epoch problem (paper Sec. 4.2).
+
+With ``Φ_t = [x, ρ]`` the paper defines::
+
+    f_t(Φ)  = Σ_k ρ x_k (τ_loc + τ_cm)          (objective; eq. 4 relaxation)
+    p(Φ)    = Σ_k c_k x_k − C_remaining ≤ 0      (budget, constraint 5a per slot)
+    q(Φ)    = n − Σ_k x_k ≤ 0                    (participation, 5b)
+    h_t(Φ)  = [h0, h1, …, hM]                    (convergence, 5c)
+
+    h0(Φ)  = F_t(w + avg_k x_k d_k) − θ          — linearized around the
+              last observation:  loss_gap + sᵀx, where s_k estimates the
+              marginal loss effect of selecting client k,
+    hk(Φ)  = η̂_k x_k ρ − ρ + 1                  — with η̂_k the OBSERVED
+              local accuracy of client k (Theorem 1: hk ≤ 0 ⇔
+              η̂_k x_k ≤ 1 − 1/ρ = η_t, i.e. constraint 3c).
+
+``f_t`` and ``p, q`` are exact; ``h_t`` is the observable surrogate (the
+true quantities are revealed only after acting — the paper's 0-lookahead
+setting, which is precisely why the dual ascent uses *realized* h values
+while the descent step uses the surrogate).
+
+All quantities for unavailable clients are masked out: ``x_k`` is pinned
+to 0 by the box and their ``h_k`` rows are identically zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.phi import Phi
+from repro.solvers.projections import alternating_projections, project_box, project_halfspace
+
+__all__ = ["EpochInputs", "FedLProblem"]
+
+
+@dataclass(frozen=True)
+class EpochInputs:
+    """Observable inputs the learner holds when deciding epoch ``t``.
+
+    At decision time these are *previous-epoch* realizations (0-lookahead);
+    for the dual ascent the runner builds one from the realized values.
+    """
+
+    tau: np.ndarray            # (M,) per-iteration latency estimate
+    costs: np.ndarray          # (M,) rental prices
+    available: np.ndarray      # (M,) bool — E_t IS known at decision time
+    eta_hat: np.ndarray        # (M,) observed/prior local accuracies, in [0,1)
+    loss_gap: float            # F_t(w) − θ at the last observation
+    loss_sensitivity: np.ndarray  # (M,) ∂(loss)/∂x_k estimate (<= 0 helps)
+    remaining_budget: float
+    min_participants: int
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.tau).size
+        for name in ("tau", "costs", "eta_hat", "loss_sensitivity"):
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.shape != (m,):
+                raise ValueError(f"{name} must have shape ({m},)")
+            object.__setattr__(self, name, arr)
+        avail = np.asarray(self.available, dtype=bool)
+        if avail.shape != (m,):
+            raise ValueError("available mask shape mismatch")
+        object.__setattr__(self, "available", avail)
+        if np.any(self.tau < 0):
+            raise ValueError("latencies must be nonnegative")
+        if np.any(self.costs < 0):
+            raise ValueError("costs must be nonnegative")
+        if np.any((self.eta_hat < 0) | (self.eta_hat >= 1)):
+            raise ValueError("eta_hat must lie in [0, 1)")
+        if self.min_participants < 1:
+            raise ValueError("min_participants must be >= 1")
+        if self.min_participants > int(avail.sum()):
+            raise ValueError("fewer available clients than min_participants")
+
+    @property
+    def num_clients(self) -> int:
+        return self.tau.size
+
+
+class FedLProblem:
+    """Callable pieces of the reformulated problem for one epoch.
+
+    ``objective`` selects the latency surrogate:
+
+    * ``"sum"`` (paper, eq. 4): ``f = ρ Σ_k x_k τ_k`` — the convex upper
+      bound the paper optimizes.
+    * ``"softmax"`` (ablation): ``f = ρ · (1/α) log(Σ_k x_k e^{α τ_k} + 1)``
+      — a smooth surrogate of the true epoch latency ``ρ max_{sel} τ``
+      (tight as α → ∞; the +1 keeps it defined at x = 0, contributing a
+      latency floor of 0 since log 1 = 0).
+    """
+
+    def __init__(
+        self,
+        inputs: EpochInputs,
+        rho_max: float = 8.0,
+        objective: str = "sum",
+        softmax_alpha: float = 4.0,
+    ) -> None:
+        if rho_max < 1:
+            raise ValueError("rho_max must be >= 1")
+        if objective not in ("sum", "softmax"):
+            raise ValueError(f"unknown objective {objective!r}")
+        if softmax_alpha <= 0:
+            raise ValueError("softmax_alpha must be positive")
+        self.inputs = inputs
+        self.rho_max = float(rho_max)
+        self.objective = objective
+        self.softmax_alpha = float(softmax_alpha)
+        self._avail = inputs.available
+        # Effective per-client latency: zero for unavailable clients (they
+        # cannot be selected; keeps f and its gradient well-defined).
+        self._tau_eff = np.where(self._avail, inputs.tau, 0.0)
+        if objective == "softmax":
+            # e^{ατ} per client, 0 for unavailable (they never contribute).
+            self._exp_tau = np.where(
+                self._avail, np.exp(self.softmax_alpha * self._tau_eff), 0.0
+            )
+
+    # -- objective -----------------------------------------------------------
+
+    def f(self, phi: Phi) -> float:
+        """Latency surrogate at Φ (see class docstring)."""
+        if self.objective == "sum":
+            return float(phi.rho * (phi.x @ self._tau_eff))
+        z = float(np.clip(phi.x, 0.0, None) @ self._exp_tau) + 1.0
+        return float(phi.rho * np.log(z) / self.softmax_alpha)
+
+    def grad_f(self, phi: Phi) -> np.ndarray:
+        """Gradient of ``f_t`` in the flat [x..., ρ] representation."""
+        if self.objective == "sum":
+            gx = phi.rho * self._tau_eff
+            grho = float(phi.x @ self._tau_eff)
+            return np.concatenate([gx, [grho]])
+        z = float(np.clip(phi.x, 0.0, None) @ self._exp_tau) + 1.0
+        smax = np.log(z) / self.softmax_alpha
+        gx = phi.rho * self._exp_tau / (self.softmax_alpha * z)
+        return np.concatenate([gx, [smax]])
+
+    # -- long-term constraint vector h_t ----------------------------------------
+
+    def h(self, phi: Phi) -> np.ndarray:
+        """``h_t(Φ) ∈ R^{M+1}``: [global-loss row, per-client rows]."""
+        inp = self.inputs
+        h0 = inp.loss_gap + float(inp.loss_sensitivity @ phi.x)
+        hk = np.where(
+            self._avail,
+            inp.eta_hat * phi.x * phi.rho - phi.rho + 1.0,
+            0.0,
+        )
+        return np.concatenate([[h0], hk])
+
+    def grad_mu_h(self, phi: Phi, mu: np.ndarray) -> np.ndarray:
+        """∇_Φ (μᵀ h_t(Φ)) in the flat representation."""
+        mu = np.asarray(mu, dtype=float)
+        if mu.shape != (self.inputs.num_clients + 1,):
+            raise ValueError("mu must have M+1 entries")
+        mu0, muk = mu[0], mu[1:]
+        mk = np.where(self._avail, muk, 0.0)
+        gx = mu0 * self.inputs.loss_sensitivity + mk * self.inputs.eta_hat * phi.rho
+        grho = float(mk @ (self.inputs.eta_hat * phi.x - 1.0))
+        return np.concatenate([gx, [grho]])
+
+    def hess_mu_h(self, mu: np.ndarray) -> np.ndarray:
+        """Hessian of μᵀh (constant in Φ): only x_k–ρ cross terms."""
+        m = self.inputs.num_clients
+        mu = np.asarray(mu, dtype=float)
+        mk = np.where(self._avail, mu[1:], 0.0)
+        H = np.zeros((m + 1, m + 1))
+        cross = mk * self.inputs.eta_hat
+        H[:m, m] = cross
+        H[m, :m] = cross
+        return H
+
+    # -- feasible set X̃ (box ∩ budget ∩ participation) ---------------------------
+
+    def box_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Elementwise bounds on [x..., ρ]: unavailable clients pinned to 0."""
+        m = self.inputs.num_clients
+        lo = np.zeros(m + 1)
+        lo[m] = 1.0
+        hi_x = np.where(self._avail, 1.0, 0.0).astype(float)
+        hi = np.concatenate([hi_x, [self.rho_max]])
+        return lo, hi
+
+    def project(self, v: np.ndarray) -> np.ndarray:
+        """Euclidean projection onto X̃ in the flat representation.
+
+        Fast path: clip to the box; if exactly one of the two halfspaces
+        (budget cᵀx <= C, participation Σx >= n) is violated, the KKT
+        solution is ``clip(v ∓ λ·normal)`` with λ found by bisection (the
+        clipped sum is monotone in λ).  Only when both bind simultaneously
+        — rare in practice — fall back to Dykstra over all three sets.
+        """
+        lo, hi = self.box_bounds()
+        costs = np.concatenate([self.inputs.costs, [0.0]])
+        part = self._avail.astype(float)
+        n = float(self.inputs.min_participants)
+        budget = self.inputs.remaining_budget
+        v = np.asarray(v, dtype=float)
+
+        def budget_ok(u: np.ndarray) -> bool:
+            return float(costs @ u) <= budget + 1e-10
+
+        def part_ok(u: np.ndarray) -> bool:
+            return float(part @ u[:-1]) >= n - 1e-10
+
+        x0 = np.clip(v, lo, hi)
+        if budget_ok(x0) and part_ok(x0):
+            return x0
+        if not part_ok(x0) and budget_ok(x0):
+            # Raise availability coordinates: x(λ) = clip(v + λ·1_avail).
+            direction = np.concatenate([part, [0.0]])
+            lam_lo, lam_hi = 0.0, 1.0
+            while float(part @ np.clip(v + lam_hi * direction, lo, hi)[:-1]) < n:
+                lam_hi *= 2.0
+                if lam_hi > 1e8:
+                    break
+            for _ in range(50):
+                lam = 0.5 * (lam_lo + lam_hi)
+                if float(part @ np.clip(v + lam * direction, lo, hi)[:-1]) < n:
+                    lam_lo = lam
+                else:
+                    lam_hi = lam
+            cand = np.clip(v + lam_hi * direction, lo, hi)
+            if budget_ok(cand):
+                return cand
+        elif not budget_ok(x0) and part_ok(x0):
+            # Lower along the cost vector: x(λ) = clip(v − λ·c).
+            lam_lo, lam_hi = 0.0, 1.0
+            while float(costs @ np.clip(v - lam_hi * costs, lo, hi)) > budget:
+                lam_hi *= 2.0
+                if lam_hi > 1e8:
+                    break
+            for _ in range(50):
+                lam = 0.5 * (lam_lo + lam_hi)
+                if float(costs @ np.clip(v - lam * costs, lo, hi)) > budget:
+                    lam_lo = lam
+                else:
+                    lam_hi = lam
+            cand = np.clip(v - lam_hi * costs, lo, hi)
+            if part_ok(cand):
+                return cand
+        # Both halfspaces interact: Dykstra over the three sets.
+        neg_part = np.concatenate([-part, [0.0]])
+        projections = [
+            lambda u: project_box(u, lo, hi),
+            lambda u: project_halfspace(u, costs, budget),
+            lambda u: project_halfspace(u, neg_part, -n),
+        ]
+        return alternating_projections(v, projections)
+
+    def constraint_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All constraints as ``A v <= b`` rows (for the interior-point solver)."""
+        m = self.inputs.num_clients
+        lo, hi = self.box_bounds()
+        rows = []
+        rhs = []
+        eye = np.eye(m + 1)
+        for i in range(m + 1):
+            rows.append(eye[i])            # v_i <= hi_i
+            rhs.append(hi[i])
+            rows.append(-eye[i])           # -v_i <= -lo_i
+            rhs.append(-lo[i])
+        budget_row = np.concatenate([self.inputs.costs, [0.0]])
+        rows.append(budget_row)
+        rhs.append(self.inputs.remaining_budget)
+        part_row = np.concatenate([-self._avail.astype(float), [0.0]])
+        rows.append(part_row)
+        rhs.append(-float(self.inputs.min_participants))
+        return np.asarray(rows), np.asarray(rhs)
+
+    def interior_point(self) -> Optional[np.ndarray]:
+        """A strictly interior point of X̃, if one exists.
+
+        Spread the participation requirement over the cheapest available
+        clients with headroom; returns None when the budget leaves no
+        strictly feasible slack.
+        """
+        inp = self.inputs
+        m = inp.num_clients
+        avail_idx = np.flatnonzero(self._avail)
+        a = avail_idx.size
+        n = inp.min_participants
+        # Fractions slightly above n/a on all available clients.
+        base = min(0.98, (n / a) + 0.5 * (1.0 - n / a))
+        x = np.zeros(m)
+        x[avail_idx] = base
+        # Shrink toward the cheapest-n corner until the budget has slack.
+        for _ in range(60):
+            cost = float(inp.costs @ x)
+            if cost < inp.remaining_budget * (1.0 - 1e-6) and x[avail_idx].sum() > n * (1 + 1e-6):
+                rho = 1.0 + 0.5 * (self.rho_max - 1.0)
+                return np.concatenate([x, [rho]])
+            # Move mass to the cheapest clients, keeping Σx just above n.
+            order = avail_idx[np.argsort(inp.costs[avail_idx], kind="stable")]
+            target = np.zeros(m)
+            keep = min(a, n + 1)
+            target[order[:keep]] = min(0.98, (n * (1 + 1e-3)) / keep)
+            x = 0.5 * x + 0.5 * target
+        cost = float(inp.costs @ x)
+        if cost < inp.remaining_budget and x[avail_idx].sum() > n:
+            rho = 1.0 + 0.5 * (self.rho_max - 1.0)
+            return np.concatenate([x, [rho]])
+        return None

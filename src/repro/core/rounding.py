@@ -1,0 +1,90 @@
+"""Online rounding: RDCS (paper Alg. 2) and the independent baseline.
+
+RDCS — Randomized Dependent Client Selection — repeatedly picks a pair of
+still-fractional coordinates ``(i, j)`` and shifts mass between them:
+
+    ζ1 = min(1 − x_i, x_j),   ζ2 = min(x_i, 1 − x_j)
+    with prob ζ2/(ζ1+ζ2):  x_i += ζ1, x_j −= ζ1
+    with prob ζ1/(ζ1+ζ2):  x_i −= ζ2, x_j += ζ2
+
+Each operation makes at least one of the pair integral, keeps the sum
+exactly constant, and is a martingale in every coordinate —
+which yields Theorem 3: ``E[x_k] = x̃_k``.  When the fractional total is
+not an integer a single fractional coordinate survives the pairing loop;
+it is resolved by an (unavoidable) independent Bernoulli round, so the
+realized sum is ``floor(Σx̃)`` or ``ceil(Σx̃)`` and the marginals are still
+exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rdcs_round", "independent_round"]
+
+_ATOL = 1e-12
+
+
+def _snap(x: np.ndarray) -> np.ndarray:
+    """Snap values within tolerance of {0, 1} exactly onto them."""
+    x = np.where(np.abs(x) <= _ATOL, 0.0, x)
+    x = np.where(np.abs(x - 1.0) <= _ATOL, 1.0, x)
+    return x
+
+
+def independent_round(
+    x_frac: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Round each coordinate independently: 1 w.p. x̃_k, else 0.
+
+    Preserves marginals but neither the sum nor any joint structure —
+    the straw-man the paper argues against (it "may generate an infeasible
+    solution or lead to an excessive system latency").
+    """
+    x = np.asarray(x_frac, dtype=float)
+    if np.any((x < -_ATOL) | (x > 1.0 + _ATOL)):
+        raise ValueError("fractions must lie in [0, 1]")
+    x = np.clip(x, 0.0, 1.0)
+    return (rng.random(x.shape) < x).astype(float)
+
+
+def rdcs_round(x_frac: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Dependent rounding per Alg. 2; returns a 0/1 vector.
+
+    Guarantees (tested property-based):
+      * every output coordinate is exactly 0 or 1,
+      * ``E[x_k] = x̃_k`` for every k,
+      * the realized sum is in ``{floor(Σx̃), ceil(Σx̃)}``.
+    """
+    x = np.asarray(x_frac, dtype=float).copy()
+    if x.ndim != 1:
+        raise ValueError("x_frac must be 1-D")
+    if np.any((x < -_ATOL) | (x > 1.0 + _ATOL)):
+        raise ValueError("fractions must lie in [0, 1]")
+    x = _snap(np.clip(x, 0.0, 1.0))
+
+    frac_idx = list(np.flatnonzero((x > 0.0) & (x < 1.0)))
+    while len(frac_idx) >= 2:
+        # Randomly choose the interacting pair (paper line 1).
+        pos_i, pos_j = rng.choice(len(frac_idx), size=2, replace=False)
+        i, j = frac_idx[pos_i], frac_idx[pos_j]
+        zeta1 = min(1.0 - x[i], x[j])
+        zeta2 = min(x[i], 1.0 - x[j])
+        total = zeta1 + zeta2
+        if total <= _ATOL:
+            # Both already integral (numerically); drop them.
+            x[i], x[j] = round(x[i]), round(x[j])
+        elif rng.random() < zeta2 / total:
+            x[i] += zeta1
+            x[j] -= zeta1
+        else:
+            x[i] -= zeta2
+            x[j] += zeta2
+        x[i] = _snap(np.asarray([x[i]]))[0]
+        x[j] = _snap(np.asarray([x[j]]))[0]
+        frac_idx = [k for k in frac_idx if 0.0 < x[k] < 1.0]
+
+    if frac_idx:  # one leftover fractional coordinate
+        k = frac_idx[0]
+        x[k] = 1.0 if rng.random() < x[k] else 0.0
+    return x

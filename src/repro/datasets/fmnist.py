@@ -1,0 +1,40 @@
+"""Synthetic Fashion-MNIST stand-in.
+
+Same geometry as the real dataset — 28×28 grayscale, 10 classes — with the
+class structure supplied by :class:`repro.datasets.synthetic
+.ClassConditionalGenerator`.  See DESIGN.md §2 for the substitution note.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import ClassConditionalGenerator
+
+__all__ = ["synthetic_fmnist", "FMNIST_SHAPE", "FMNIST_CLASSES"]
+
+FMNIST_SHAPE = (28, 28, 1)
+FMNIST_CLASSES = 10
+
+
+def synthetic_fmnist(
+    rng: np.random.Generator,
+    noise: float = 0.35,
+    downscale: int = 1,
+) -> ClassConditionalGenerator:
+    """Build the FMNIST-like generator.
+
+    ``downscale`` shrinks both spatial dimensions by an integer factor
+    (e.g. 2 → 14×14) to speed up large sweeps without changing the class
+    structure; experiments in the benchmark harness use ``downscale=2``.
+    """
+    if downscale < 1 or FMNIST_SHAPE[0] % downscale:
+        raise ValueError("downscale must divide 28")
+    h = FMNIST_SHAPE[0] // downscale
+    w = FMNIST_SHAPE[1] // downscale
+    return ClassConditionalGenerator(
+        image_shape=(h, w, 1),
+        num_classes=FMNIST_CLASSES,
+        rng=rng,
+        noise=noise,
+    )

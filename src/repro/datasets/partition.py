@@ -1,0 +1,80 @@
+"""Client data-distribution partitioners.
+
+Because the generators sample on demand, a "partition" here is a per-client
+*class distribution* — the probability vector its local stream draws labels
+from.  Three schemes:
+
+* **IID** — every client uses the uniform class distribution.
+* **Non-IID (paper)** — "choose a number of data from a principal dataset
+  and randomly select the remaining data from another dataset": each client
+  gets a principal class (or classes) holding ``principal_frac`` of its
+  mass, with the rest uniform over the other classes.
+* **Dirichlet** — the standard FL non-IID benchmark knob (extension beyond
+  the paper, used in ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "iid_class_distributions",
+    "non_iid_class_distributions",
+    "dirichlet_class_distributions",
+]
+
+
+def _validate(num_clients: int, num_classes: int) -> None:
+    if num_clients < 1:
+        raise ValueError("need at least one client")
+    if num_classes < 2:
+        raise ValueError("need at least two classes")
+
+
+def iid_class_distributions(num_clients: int, num_classes: int) -> np.ndarray:
+    """Uniform class distribution for every client, shape (M, num_classes)."""
+    _validate(num_clients, num_classes)
+    return np.full((num_clients, num_classes), 1.0 / num_classes)
+
+
+def non_iid_class_distributions(
+    num_clients: int,
+    num_classes: int,
+    rng: np.random.Generator,
+    principal_frac: float = 0.8,
+    principal_classes: int = 2,
+) -> np.ndarray:
+    """Paper-style non-IID mix: principal classes hold ``principal_frac``.
+
+    Each client draws ``principal_classes`` distinct principal classes
+    (assigned round-robin-with-shuffle so all classes are covered), places
+    ``principal_frac`` of its mass uniformly on them, and spreads the rest
+    uniformly over the remaining classes.
+    """
+    _validate(num_clients, num_classes)
+    if not (0.0 <= principal_frac <= 1.0):
+        raise ValueError("principal_frac must be in [0, 1]")
+    if not (1 <= principal_classes < num_classes):
+        raise ValueError("principal_classes must be in [1, num_classes)")
+    dists = np.empty((num_clients, num_classes))
+    for m in range(num_clients):
+        principals = rng.choice(num_classes, size=principal_classes, replace=False)
+        probs = np.full(
+            num_classes, (1.0 - principal_frac) / (num_classes - principal_classes)
+        )
+        probs[principals] = principal_frac / principal_classes
+        dists[m] = probs
+    return dists
+
+
+def dirichlet_class_distributions(
+    num_clients: int,
+    num_classes: int,
+    rng: np.random.Generator,
+    alpha: float = 0.5,
+) -> np.ndarray:
+    """Dirichlet(α) class distributions; α → ∞ recovers IID."""
+    _validate(num_clients, num_classes)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return rng.dirichlet(np.full(num_classes, alpha), size=num_clients)

@@ -1,0 +1,24 @@
+"""Client population and time-varying environment substrate.
+
+* :mod:`repro.env.population` — static client attributes: position in the
+  cell, CPU frequency, cycles/bit, transmit power.
+* :mod:`repro.env.availability` — per-epoch Bernoulli availability process
+  (paper: "the availability of all devices obeys the same Bernoulli
+  distribution").
+* :mod:`repro.env.dynamics` — time-varying rental prices (AR(1) around the
+  paper's uniform [0.1, 12] "dynamic price of Amazon") and Poisson data
+  volumes.
+"""
+
+from repro.env.population import Population, build_population
+from repro.env.availability import AvailabilityProcess, MarkovAvailabilityProcess
+from repro.env.dynamics import PriceProcess, DataVolumeProcess
+
+__all__ = [
+    "Population",
+    "build_population",
+    "AvailabilityProcess",
+    "MarkovAvailabilityProcess",
+    "PriceProcess",
+    "DataVolumeProcess",
+]

@@ -1,0 +1,82 @@
+"""Static client-fleet attributes (paper Sec. 6.1).
+
+Clients are placed uniformly at random in a disc of radius 500 m around the
+server; each has a CPU frequency (heterogeneous, up to 2 GHz), a
+cycles-per-bit training cost ``e_k ~ U[10, 30]``, and a transmit power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PopulationConfig
+
+__all__ = ["Population", "build_population"]
+
+
+@dataclass(frozen=True)
+class Population:
+    """Immutable static attributes of the M clients."""
+
+    positions_m: np.ndarray        # (M, 2) cartesian coordinates, server at origin
+    cpu_freq_hz: np.ndarray        # (M,) π_k
+    cycles_per_bit: np.ndarray     # (M,) e_k
+    base_cost: np.ndarray          # (M,) mean rental price of each client
+    bits_per_sample: float
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions_m, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError("positions must have shape (M, 2)")
+        m = pos.shape[0]
+        for name in ("cpu_freq_hz", "cycles_per_bit", "base_cost"):
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.shape != (m,):
+                raise ValueError(f"{name} must have shape ({m},)")
+            if np.any(arr <= 0):
+                raise ValueError(f"{name} must be positive")
+            object.__setattr__(self, name, arr)
+        object.__setattr__(self, "positions_m", pos)
+        if self.bits_per_sample <= 0:
+            raise ValueError("bits_per_sample must be positive")
+
+    @property
+    def num_clients(self) -> int:
+        return self.positions_m.shape[0]
+
+    def distances_m(self) -> np.ndarray:
+        """Distance of each client from the server (origin)."""
+        return np.linalg.norm(self.positions_m, axis=1)
+
+
+def build_population(
+    config: PopulationConfig,
+    rng: np.random.Generator,
+    cell_radius_m: float = 500.0,
+) -> Population:
+    """Sample a fleet per the paper's setting.
+
+    Uniform placement in a disc is done by ``r = R √u`` (area-uniform),
+    not ``r = R u`` (which would over-concentrate clients at the centre).
+    """
+    m = config.num_clients
+    radii = cell_radius_m * np.sqrt(rng.uniform(0.0, 1.0, size=m))
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=m)
+    positions = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+
+    freq = config.cpu_freq_hz * rng.uniform(
+        1.0 - config.cpu_freq_jitter, 1.0, size=m
+    )
+    e_lo, e_hi = config.cycles_per_bit_range
+    cycles = rng.uniform(e_lo, e_hi, size=m)
+    c_lo, c_hi = config.cost_range
+    base_cost = rng.uniform(c_lo, c_hi, size=m)
+    return Population(
+        positions_m=positions,
+        cpu_freq_hz=freq,
+        cycles_per_bit=cycles,
+        base_cost=base_cost,
+        bits_per_sample=config.bits_per_sample,
+    )

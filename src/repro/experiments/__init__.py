@@ -1,0 +1,50 @@
+"""Experiment harness: paper scenarios, the online FL loop, and the
+figure/table regeneration entry points (see DESIGN.md §4 for the index).
+"""
+
+from repro.experiments.metrics import EpochRecord, Trace
+from repro.experiments.runner import ExperimentResult, Simulation, run_experiment
+from repro.experiments.scenarios import (
+    experiment_config,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.experiments.tables import (
+    time_to_accuracy,
+    rounds_to_accuracy,
+    accuracy_at_time,
+    headline_claims,
+)
+from repro.experiments.reporting import format_table, format_series
+from repro.experiments.persistence import save_traces, load_traces
+from repro.experiments.validation import validate_trace
+from repro.experiments.stats import (
+    Band,
+    aggregate_on_rounds,
+    aggregate_on_times,
+    multi_seed_suite,
+)
+
+__all__ = [
+    "EpochRecord",
+    "Trace",
+    "ExperimentResult",
+    "Simulation",
+    "run_experiment",
+    "experiment_config",
+    "make_policy",
+    "POLICY_NAMES",
+    "time_to_accuracy",
+    "rounds_to_accuracy",
+    "accuracy_at_time",
+    "headline_claims",
+    "format_table",
+    "format_series",
+    "save_traces",
+    "load_traces",
+    "validate_trace",
+    "Band",
+    "aggregate_on_rounds",
+    "aggregate_on_times",
+    "multi_seed_suite",
+]

@@ -1,0 +1,113 @@
+"""Per-epoch metric recording for experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["EpochRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One row of an experiment trace."""
+
+    t: int
+    test_accuracy: float
+    test_loss: float
+    population_loss: float
+    epoch_latency: float        # seconds of simulated wall clock this epoch
+    cumulative_time: float      # seconds since the start of the run
+    cost_spent: float
+    remaining_budget: float
+    num_selected: int
+    num_available: int
+    iterations: int
+    rho: float                  # fractional iteration decision (NaN for baselines)
+    eta_max: float              # realized max local accuracy among participants
+    num_failed: int = 0         # rented clients that crashed mid-round
+
+
+@dataclass
+class Trace:
+    """Append-only sequence of epoch records with array accessors."""
+
+    policy_name: str
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        if self.records and record.t <= self.records[-1].t:
+            raise ValueError("epoch indices must be strictly increasing")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def column(self, name: str) -> np.ndarray:
+        """Extract one field across all records as a float array."""
+        if not self.records:
+            return np.zeros(0)
+        return np.asarray([getattr(r, name) for r in self.records], dtype=float)
+
+    # -- convenience views used by figures/tables --------------------------------
+
+    @property
+    def accuracy(self) -> np.ndarray:
+        return self.column("test_accuracy")
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.column("cumulative_time")
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return self.column("t")
+
+    @property
+    def losses(self) -> np.ndarray:
+        return self.column("test_loss")
+
+    @property
+    def total_spend(self) -> float:
+        return float(self.column("cost_spent").sum())
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty trace")
+        return self.records[-1].test_accuracy
+
+    @property
+    def final_loss(self) -> float:
+        if not self.records:
+            raise ValueError("empty trace")
+        return self.records[-1].test_loss
+
+    def best_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty trace")
+        return float(self.accuracy.max())
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds until test accuracy first reaches ``target``."""
+        acc = self.accuracy
+        hits = np.flatnonzero(acc >= target)
+        if hits.size == 0:
+            return None
+        return float(self.times[hits[0]])
+
+    def rounds_to_accuracy(self, target: float) -> Optional[int]:
+        acc = self.accuracy
+        hits = np.flatnonzero(acc >= target)
+        if hits.size == 0:
+            return None
+        return int(self.rounds[hits[0]]) + 1  # 1-based round count
+
+    def accuracy_at_time(self, t_seconds: float) -> float:
+        """Accuracy of the last epoch completed by ``t_seconds`` (0 before)."""
+        done = np.flatnonzero(self.times <= t_seconds)
+        if done.size == 0:
+            return 0.0
+        return float(self.accuracy[done[-1]])

@@ -1,0 +1,60 @@
+"""Saving and loading experiment traces (JSON).
+
+A downstream user running sweeps wants results on disk; this module
+round-trips :class:`~repro.experiments.metrics.Trace` objects and bundles
+of traces through a stable, versioned JSON schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Mapping
+
+from repro.experiments.metrics import EpochRecord, Trace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_traces", "load_traces"]
+
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """Serialize a trace to plain JSON-ready data."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "policy_name": trace.policy_name,
+        "records": [dataclasses.asdict(r) for r in trace.records],
+    }
+
+
+def trace_from_dict(data: Mapping) -> Trace:
+    """Inverse of :func:`trace_to_dict`; validates the schema version."""
+    version = data.get("schema")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace schema: {version!r}")
+    trace = Trace(policy_name=str(data["policy_name"]))
+    for raw in data["records"]:
+        trace.append(EpochRecord(**raw))
+    return trace
+
+
+def save_traces(traces: Mapping[str, Trace], path: str | Path) -> Path:
+    """Write a bundle of named traces to ``path`` (.json)."""
+    path = Path(path)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "traces": {name: trace_to_dict(tr) for name, tr in traces.items()},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_traces(path: str | Path) -> Dict[str, Trace]:
+    """Read a bundle written by :func:`save_traces`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported bundle schema: {payload.get('schema')!r}")
+    return {
+        name: trace_from_dict(data) for name, data in payload["traces"].items()
+    }

@@ -1,0 +1,76 @@
+"""Terminal plotting: ASCII line charts and sparklines for traces.
+
+Dependency-free visualization so the examples and CLI can show curve
+*shapes* (crossovers, plateaus) without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line unicode sparkline of ``values`` (resampled to ``width``)."""
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        raise ValueError("need at least one value")
+    if width < 1:
+        raise ValueError("width must be positive")
+    if v.size > width:
+        idx = np.linspace(0, v.size - 1, width).astype(int)
+        v = v[idx]
+    lo, hi = float(np.nanmin(v)), float(np.nanmax(v))
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * v.size
+    scaled = ((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[s] for s in scaled)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series ASCII line chart on a shared (x, y) canvas.
+
+    Each series gets a distinct marker; later series overwrite earlier
+    ones where they collide (fine for reading shapes).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    markers = "*o+x#@%&"
+    all_pts = [p for pts in series.values() for p in pts]
+    if not all_pts:
+        raise ValueError("series are empty")
+    xs = np.array([p[0] for p in all_pts], dtype=float)
+    ys = np.array([p[1] for p in all_pts], dtype=float)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, pts), marker in zip(series.items(), markers):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_lo) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    lines = [f"{y_label} [{y_lo:.3g} .. {y_hi:.3g}]   " + "  ".join(legend)]
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Plain-text rendering of tables and series (bench harness output)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "--"
+    if isinstance(v, float):
+        if not np.isfinite(v):
+            return "inf" if v > 0 else "-inf"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{row_label: {column: value}}`` as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    columns: list[str] = []
+    for row in rows.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    header = ["policy"] + columns
+    body = [
+        [label] + [_fmt(row.get(col)) for col in columns]
+        for label, row in rows.items()
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple]],
+    x_label: str,
+    y_label: str,
+    title: Optional[str] = None,
+    max_points: int = 12,
+) -> str:
+    """Render named (x, y) series as a compact aligned listing.
+
+    Long series are subsampled to ``max_points`` evenly spaced points —
+    enough to read off the *shape* (who wins, where crossovers are).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  [{x_label} -> {y_label}]")
+    for name, pts in series.items():
+        pts = list(pts)
+        if len(pts) > max_points:
+            idx = np.linspace(0, len(pts) - 1, max_points).astype(int)
+            pts = [pts[i] for i in idx]
+        body = "  ".join(f"({_fmt(float(x))}, {_fmt(float(y))})" for x, y in pts)
+        lines.append(f"  {name:10s} {body}")
+    return "\n".join(lines)

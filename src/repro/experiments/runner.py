@@ -1,0 +1,434 @@
+"""The online federated-learning experiment loop (paper Alg. 1 end-to-end).
+
+``Simulation`` wires every substrate together from an
+:class:`repro.config.ExperimentConfig`; ``run_experiment`` drives one
+policy through the budget-constrained FL process:
+
+per epoch t (while budget lasts):
+  1. draw the environment: availability E_t, prices c_{t,k}, data volumes
+     D_{t,k}, channel gains;
+  2. hand the policy its 0-lookahead context (last epoch's realized
+     latencies/losses) and get back (participants, l_t);
+  3. charge the budget; stop if the epoch cannot be paid;
+  4. run l_t federated iterations (DANE local solves + aggregation);
+  5. realize the epoch latency — bandwidth is shared FDMA-equally among
+     the actual uploaders, so τ_cm depends on the selection size;
+  6. record metrics, feed the realized observables back to the policy.
+
+Latency is *simulated* wall-clock computed from the paper's model; the
+experiment itself runs as fast as NumPy allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Decision, EpochContext, RoundFeedback, SelectionPolicy
+from repro.config import ExperimentConfig
+from repro.datasets import (
+    build_client_streams,
+    dirichlet_class_distributions,
+    iid_class_distributions,
+    non_iid_class_distributions,
+    synthetic_cifar10,
+    synthetic_fmnist,
+)
+from repro.env import (
+    AvailabilityProcess,
+    DataVolumeProcess,
+    MarkovAvailabilityProcess,
+    PriceProcess,
+    build_population,
+)
+from repro.experiments.metrics import EpochRecord, Trace
+from repro.fl import FLClient, FLServer, run_federated_round
+from repro.fl.compression import CompressionSpec
+from repro.fl.privacy import DPSpec, PrivacyAccountant
+from repro.net import ChannelModel, achievable_rate, compute_latency, transmission_latency
+from repro.nn import build_model
+from repro.rng import RngFactory
+
+__all__ = ["Simulation", "ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure/table needs from one run."""
+
+    trace: Trace
+    config: ExperimentConfig
+    stop_reason: str
+    final_w: np.ndarray
+
+
+class Simulation:
+    """All substrates instantiated for one experiment configuration."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.rng = RngFactory(config.seed)
+        # --- environment ---------------------------------------------------
+        self.population = build_population(
+            config.population, self.rng.get("env.population"),
+            cell_radius_m=config.network.cell_radius_m,
+        )
+        self.channel = ChannelModel(
+            self.population.distances_m(), config.network, self.rng.get("net.channel")
+        )
+        if config.population.availability_model == "markov":
+            self.availability = MarkovAvailabilityProcess(
+                config.population.num_clients,
+                config.population.availability_prob,
+                self.rng.get("env.availability"),
+                mean_on_epochs=config.population.availability_sojourn,
+                min_available=config.min_participants,
+            )
+        else:
+            self.availability = AvailabilityProcess(
+                config.population.num_clients,
+                config.population.availability_prob,
+                self.rng.get("env.availability"),
+                min_available=config.min_participants,
+            )
+        self.prices = PriceProcess(
+            self.population.base_cost,
+            self.rng.get("env.prices"),
+            volatility=config.population.cost_volatility,
+            clip_range=config.population.cost_range,
+        )
+        self.volumes = DataVolumeProcess(
+            config.population.num_clients,
+            config.data.samples_per_client,
+            self.rng.get("env.volumes"),
+            heterogeneous=config.data.poisson_arrivals,
+        )
+        # --- data ------------------------------------------------------------
+        data_rng = self.rng.get("data.generator")
+        downscale = config.data.downscale  # 1 = paper-scale images
+        if config.data.dataset == "fmnist":
+            self.generator = synthetic_fmnist(
+                data_rng, noise=config.data.feature_noise, downscale=downscale
+            )
+            image_shape = (28 // downscale, 28 // downscale, 1)
+        else:
+            self.generator = synthetic_cifar10(
+                data_rng, noise=config.data.feature_noise, downscale=downscale
+            )
+            image_shape = (32 // downscale, 32 // downscale, 3)
+        m = config.population.num_clients
+        if config.data.iid:
+            dists = iid_class_distributions(m, config.data.num_classes)
+        elif config.data.partition == "dirichlet":
+            dists = dirichlet_class_distributions(
+                m,
+                config.data.num_classes,
+                self.rng.get("data.partition"),
+                alpha=config.data.dirichlet_alpha,
+            )
+        else:
+            dists = non_iid_class_distributions(
+                m,
+                config.data.num_classes,
+                self.rng.get("data.partition"),
+                principal_frac=config.data.non_iid_principal_frac,
+            )
+        self.streams = build_client_streams(self.generator, dists, self.rng)
+        self.test_set = self.generator.test_set(
+            config.data.test_samples, rng=self.rng.get("data.test")
+        )
+        # --- model & FL actors -----------------------------------------------
+        self.model = build_model(
+            config.training.model,
+            self.generator.num_features,
+            config.data.num_classes,
+            self.rng.get("model.init"),
+            hidden=config.training.hidden_units,
+            image_shape=image_shape,
+            l2_reg=config.training.l2_reg,
+            cnn_scale=0.5,
+        )
+        self.clients = [
+            FLClient(
+                k,
+                self.model,
+                self.rng.get(f"fl.client.{k}"),
+                sgd_steps=config.training.local_sgd_steps,
+                sgd_lr=config.training.sgd_lr,
+                sigma1=config.training.sigma1,
+                sigma2=config.training.sigma2,
+                batch_size=config.training.batch_size,
+                local_solver=config.training.local_solver,
+                momentum=config.training.momentum,
+            )
+            for k in range(m)
+        ]
+        self.server = FLServer(self.model, self.model.get_params(), self.test_set)
+        tc = config.training
+        self.compression = (
+            CompressionSpec(
+                scheme=tc.compression,
+                topk_fraction=tc.topk_fraction,
+                quantize_bits=tc.quantize_bits,
+                cmfl_threshold=tc.cmfl_threshold,
+            )
+            if tc.compression != "none"
+            else None
+        )
+        self.dp_spec = (
+            DPSpec(
+                clip_norm=tc.dp_clip_norm,
+                noise_multiplier=tc.dp_noise_multiplier,
+            )
+            if tc.dp_noise_multiplier is not None
+            else None
+        )
+        self.dp_accountant = PrivacyAccountant()
+
+    # ------------------------------------------------------------------------
+
+    def realized_tau(
+        self,
+        data_counts: np.ndarray,
+        channel_state,
+        num_sharing: int,
+        selected: Optional[np.ndarray] = None,
+        upload_ratio: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-iteration latency τ_loc + τ_cm for every client.
+
+        With the ``"equal"`` bandwidth policy (paper default) every client
+        is priced at an equal ``B / num_sharing`` FDMA share.  Under
+        ``"min_latency"`` and a concrete ``selected`` mask, the band is
+        split across the selected uploaders to equalize their upload time
+        (optimal for the max-latency objective); unselected clients keep
+        the equal-share estimate so their τ remains defined for the
+        policies' bookkeeping.
+
+        Under ``mac = "tdma"`` uploaders transmit sequentially at the full
+        band: every selected client's τ_cm is charged the *sum* of the
+        selected slots (the round ends after the last slot), so the
+        existing max-over-participants epoch latency stays correct.
+        """
+        bits = data_counts * self.population.bits_per_sample
+        tau_loc = compute_latency(
+            self.population.cycles_per_bit, bits, self.population.cpu_freq_hz
+        )
+        total = self.config.network.bandwidth_hz
+        if self.config.network.mac == "tdma":
+            rates = np.asarray(
+                achievable_rate(total, channel_state.snr_per_hz()), dtype=float
+            )
+            tau_cm = np.asarray(
+                transmission_latency(self.config.network.upload_bits, rates),
+                dtype=float,
+            )
+            if upload_ratio is not None:
+                tau_cm = tau_cm * np.asarray(upload_ratio, dtype=float)
+            if selected is not None and np.any(selected):
+                sel = np.asarray(selected, dtype=bool)
+                slot_total = float(tau_cm[sel].sum())
+                tau_cm = np.where(sel, slot_total, tau_cm)
+            return np.asarray(tau_loc, dtype=float) + tau_cm
+        share = total / max(1, num_sharing)
+        rates = np.asarray(
+            achievable_rate(share, channel_state.snr_per_hz()), dtype=float
+        )
+        if (
+            self.config.network.bandwidth_policy == "min_latency"
+            and selected is not None
+            and np.any(selected)
+        ):
+            from repro.net import allocate_bandwidth
+
+            bw = allocate_bandwidth(
+                channel_state,
+                selected,
+                total,
+                self.config.network.upload_bits,
+                policy="min_latency",
+            )
+            sel = np.asarray(selected, dtype=bool)
+            rates[sel] = np.asarray(
+                achievable_rate(bw[sel], channel_state.snr_per_hz()[sel]),
+                dtype=float,
+            )
+        tau_cm = np.asarray(
+            transmission_latency(self.config.network.upload_bits, rates),
+            dtype=float,
+        )
+        if upload_ratio is not None:
+            # Compressed uploads shrink the payload proportionally.
+            tau_cm = tau_cm * np.asarray(upload_ratio, dtype=float)
+        return np.asarray(tau_loc, dtype=float) + tau_cm
+
+    @property
+    def bits_per_sample(self) -> float:
+        return self.population.bits_per_sample
+
+
+def run_experiment(
+    policy: SelectionPolicy,
+    config: ExperimentConfig,
+    simulation: Optional[Simulation] = None,
+    target_accuracy: Optional[float] = None,
+) -> ExperimentResult:
+    """Drive ``policy`` through the budget-constrained FL process."""
+    sim = simulation if simulation is not None else Simulation(config)
+    m = config.population.num_clients
+    trace = Trace(policy_name=getattr(policy, "name", type(policy).__name__))
+    remaining = config.budget
+    cumulative_time = 0.0
+    # Prior latency estimate before anything is observed: mean data volume,
+    # mean channel, band shared n ways.
+    mean_counts = np.full(m, config.data.samples_per_client, dtype=float)
+    tau_last = sim.realized_tau(
+        mean_counts, sim.channel.mean_state(), config.min_participants
+    )
+    local_losses = np.full(m, np.nan)
+    stop_reason = "max_epochs"
+    final_w = sim.server.w.copy()
+
+    for t in range(config.max_epochs):
+        available = sim.availability.sample()
+        costs = sim.prices.step()
+        counts = sim.volumes.sample()
+        channel_state = sim.channel.sample()
+        # Install this epoch's local data on available clients.
+        for k in np.flatnonzero(available):
+            sim.clients[k].set_data(sim.streams[k].draw(int(counts[k])))
+
+        tau_oracle = sim.realized_tau(counts, channel_state, config.min_participants)
+        ctx = EpochContext(
+            t=t,
+            available=available,
+            costs=costs,
+            remaining_budget=remaining,
+            min_participants=config.min_participants,
+            tau_last=tau_last,
+            local_losses=local_losses,
+            tau_oracle=tau_oracle,
+        )
+        decision: Decision = policy.select(ctx)
+        sel = decision.selected & available
+        if int(sel.sum()) < 1:
+            stop_reason = "no_selection"
+            break
+        cost = float(costs[sel].sum())
+        if cost > remaining + 1e-9:
+            stop_reason = "budget_exhausted"
+            break
+
+        # Failure injection: rented clients may crash mid-round.  Rent is
+        # still charged (the rental happened); the crashed clients' updates
+        # are lost and they do not gate the epoch latency.  At least one
+        # survivor is guaranteed so the round remains defined.
+        survivors = sel.copy()
+        if config.population.failure_prob > 0.0:
+            fail_rng = sim.rng.get("env.failures")
+            crashed = sel & (
+                fail_rng.random(m) < config.population.failure_prob
+            )
+            if crashed.all() or not (sel & ~crashed).any():
+                keep = fail_rng.choice(np.flatnonzero(sel))
+                crashed[keep] = False
+            survivors = sel & ~crashed
+
+        # Quorum semantics (over-selection): the epoch ends once the
+        # quorum fastest survivors finish; the remaining stragglers are
+        # rented but their updates are discarded.
+        contributors = survivors
+        if decision.quorum is not None and decision.quorum < int(survivors.sum()):
+            tau_rank = sim.realized_tau(
+                counts, channel_state, int(survivors.sum()), selected=survivors
+            )
+            surv_idx = np.flatnonzero(survivors)
+            fastest = surv_idx[np.argsort(tau_rank[surv_idx], kind="stable")]
+            contributors = np.zeros(m, dtype=bool)
+            contributors[fastest[: decision.quorum]] = True
+
+        # Tolerated local accuracy from the iteration decision: η = 1 − 1/ρ
+        # (fractional ρ when the policy provides one, else the integer l_t).
+        rho_eff = decision.rho if np.isfinite(decision.rho) else float(decision.iterations)
+        target_eta = max(0.0, 1.0 - 1.0 / max(rho_eff, 1.0))
+        result = run_federated_round(
+            sim.server,
+            sim.clients,
+            contributors,
+            available,
+            iterations=decision.iterations,
+            target_eta=target_eta,
+            aggregation=config.training.aggregation,
+            compression=sim.compression,
+            dp_spec=sim.dp_spec,
+            dp_rng=sim.rng.get("fl.dp"),
+            dp_accountant=sim.dp_accountant,
+        )
+        final_w = result.w
+        # Realized latencies: the band was shared by the actual uploaders
+        # (crashed clients never finished; quorum stragglers' uploads are
+        # cut off, so neither gates the epoch), with compressed payloads
+        # charged their realized size.
+        tau_real = sim.realized_tau(
+            counts,
+            channel_state,
+            int(contributors.sum()),
+            selected=contributors,
+            upload_ratio=result.upload_ratio,
+        )
+        epoch_latency = decision.iterations * float(np.max(tau_real[contributors]))
+        remaining -= cost
+        cumulative_time += epoch_latency
+
+        # Refresh the 0-lookahead observables for the next epoch.
+        tau_last = np.where(available, tau_real, tau_last)
+        new_losses = np.full(m, np.nan)
+        for k in np.flatnonzero(available):
+            new_losses[k] = sim.clients[k].local_loss(sim.server.w)
+        local_losses = np.where(np.isnan(new_losses), local_losses, new_losses)
+
+        trace.append(
+            EpochRecord(
+                t=t,
+                test_accuracy=result.test_accuracy,
+                test_loss=result.test_loss,
+                population_loss=result.population_loss,
+                epoch_latency=epoch_latency,
+                cumulative_time=cumulative_time,
+                cost_spent=cost,
+                remaining_budget=remaining,
+                num_selected=int(sel.sum()),
+                num_available=int(available.sum()),
+                iterations=decision.iterations,
+                rho=decision.rho,
+                eta_max=result.eta_max,
+                num_failed=int(sel.sum()) - int(survivors.sum()),
+            )
+        )
+        policy.update(
+            RoundFeedback(
+                t=t,
+                selected=contributors,
+                tau_realized=tau_real,
+                local_etas=result.local_etas,
+                local_losses=new_losses,
+                population_loss=result.population_loss,
+                cost_spent=cost,
+                epoch_latency=epoch_latency,
+            )
+        )
+        if target_accuracy is not None and result.test_accuracy >= target_accuracy:
+            stop_reason = "target_accuracy"
+            break
+        # Paper Alg. 1: loop while C >= 0; stop when even the cheapest
+        # feasible epoch cannot be paid.
+        cheapest = np.sort(costs[available])[: config.min_participants].sum()
+        if remaining < float(cheapest):
+            stop_reason = "budget_exhausted"
+            break
+
+    return ExperimentResult(
+        trace=trace, config=config, stop_reason=stop_reason, final_w=final_w
+    )

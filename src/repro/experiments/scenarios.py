@@ -1,0 +1,149 @@
+"""Paper scenario parameterizations and policy factory.
+
+The paper runs M = 100 clients with real CNN training; at NumPy speed we
+scale the *experiment* defaults down (M = 30, 14×14 / 16×16 images, MLP)
+while keeping every structural knob — availability, pricing, FDMA sharing,
+Poisson volumes, IID/non-IID — at the paper's values.  The config builder
+exposes all of it, so paper-scale runs are one ``replace`` away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines import (
+    FedAvgPolicy,
+    FedCSPolicy,
+    GreedyOraclePolicy,
+    PowDPolicy,
+    UCBPolicy,
+)
+from repro.baselines.base import SelectionPolicy
+from repro.core.fairness import FairFedLPolicy
+from repro.config import (
+    DataConfig,
+    ExperimentConfig,
+    FedLConfig,
+    PopulationConfig,
+    TrainingConfig,
+)
+from repro.core.fedl import FedLPolicy
+
+__all__ = [
+    "experiment_config",
+    "paper_scale_config",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+POLICY_NAMES = ("FedL", "FedAvg", "FedCS", "Pow-d")
+
+
+def experiment_config(
+    dataset: str = "fmnist",
+    iid: bool = True,
+    budget: float = 2500.0,
+    seed: int = 0,
+    num_clients: int = 30,
+    min_participants: int = 5,
+    max_epochs: int = 300,
+    model: str = "mlp",
+) -> ExperimentConfig:
+    """Experiment-scale config mirroring the paper's Sec. 6.1 setting."""
+    # Difficulty calibrated so a run takes tens of federated rounds to
+    # plateau (CIFAR-like harder than FMNIST-like, as in the paper).
+    noise = 0.8 if dataset == "fmnist" else 1.1
+    return ExperimentConfig(
+        seed=seed,
+        budget=budget,
+        min_participants=min_participants,
+        max_epochs=max_epochs,
+        population=PopulationConfig(num_clients=num_clients),
+        data=DataConfig(
+            dataset=dataset, iid=iid, feature_noise=noise, samples_per_client=30
+        ),
+        training=TrainingConfig(model=model),
+        fedl=FedLConfig(),
+    )
+
+
+def paper_scale_config(
+    dataset: str = "fmnist",
+    iid: bool = True,
+    budget: float = 20_000.0,
+    seed: int = 0,
+) -> ExperimentConfig:
+    """The paper's full Sec. 6.1 setting: M = 100 clients, full-resolution
+    28×28 / 32×32 images, the CNN model family, n = 10 participants.
+
+    A complete run takes tens of minutes of NumPy time — use
+    :func:`experiment_config` for development and benches.
+    """
+    return ExperimentConfig(
+        seed=seed,
+        budget=budget,
+        min_participants=10,
+        max_epochs=500,
+        population=PopulationConfig(num_clients=100),
+        data=DataConfig(
+            dataset=dataset,
+            iid=iid,
+            feature_noise=0.8 if dataset == "fmnist" else 1.1,
+            samples_per_client=60,
+            downscale=1,
+        ),
+        training=TrainingConfig(model="cnn"),
+        fedl=FedLConfig(),
+    )
+
+
+def make_policy(
+    name: str,
+    config: ExperimentConfig,
+    rng: np.random.Generator,
+    iterations: int = 2,
+    deadline_s: Optional[float] = None,
+) -> SelectionPolicy:
+    """Instantiate a policy by its paper name.
+
+    Baselines use a fixed iteration count ``iterations`` (they have no
+    iteration control); FedL's ``ρ_t`` is learned and its rounding, step
+    sizes, and solver come from ``config.fedl``.
+    """
+    m = config.population.num_clients
+    if name == "FedL":
+        return FedLPolicy(
+            num_clients=m,
+            budget=config.budget,
+            min_participants=config.min_participants,
+            theta=config.training.theta,
+            rng=rng,
+            config=config.fedl,
+            cost_range=config.population.cost_range,
+        )
+    if name == "Fair-FedL":
+        return FairFedLPolicy(
+            num_clients=m,
+            budget=config.budget,
+            min_participants=config.min_participants,
+            theta=config.training.theta,
+            rng=rng,
+            config=config.fedl,
+            cost_range=config.population.cost_range,
+        )
+    if name == "FedAvg":
+        return FedAvgPolicy(rng, iterations=iterations)
+    if name == "FedCS":
+        return FedCSPolicy(rng, deadline_s=deadline_s, iterations=iterations)
+    if name == "Pow-d":
+        return PowDPolicy(rng, d=3 * config.min_participants, iterations=iterations)
+    if name == "UCB":
+        return UCBPolicy(m, rng, iterations=iterations)
+    if name == "Oracle":
+        return GreedyOraclePolicy(rng, iterations=iterations)
+    raise ValueError(f"unknown policy {name!r}")
+
+

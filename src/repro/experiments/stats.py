@@ -1,0 +1,88 @@
+"""Multi-seed aggregation of experiment traces.
+
+Published FL curves are averages over repetitions; this module runs a
+policy suite over several seeds and aggregates the traces into mean ± std
+bands on a common grid, for both the time axis and the round axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.figures import run_policy_suite
+from repro.experiments.metrics import Trace
+
+__all__ = ["Band", "aggregate_on_rounds", "aggregate_on_times", "multi_seed_suite"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """A mean ± std series on a common x grid."""
+
+    x: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("x", "mean", "std"):
+            object.__setattr__(self, name, np.asarray(getattr(self, name), dtype=float))
+        if not (self.x.shape == self.mean.shape == self.std.shape):
+            raise ValueError("band arrays must share a shape")
+
+
+def aggregate_on_rounds(traces: Sequence[Trace], metric: str = "test_accuracy") -> Band:
+    """Per-round mean ± std across traces (truncated to the shortest run)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    horizon = min(len(tr) for tr in traces)
+    if horizon == 0:
+        raise ValueError("traces must be nonempty")
+    stacked = np.stack([tr.column(metric)[:horizon] for tr in traces])
+    return Band(
+        x=np.arange(1, horizon + 1, dtype=float),
+        mean=stacked.mean(axis=0),
+        std=stacked.std(axis=0),
+    )
+
+
+def aggregate_on_times(
+    traces: Sequence[Trace],
+    num_points: int = 20,
+    metric: str = "test_accuracy",
+) -> Band:
+    """Mean ± std of the step-function metric-vs-time curves on a shared
+    time grid spanning the shortest run (so every trace covers the grid)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    if num_points < 2:
+        raise ValueError("need at least two grid points")
+    t_end = min(float(tr.times[-1]) for tr in traces if len(tr) > 0)
+    grid = np.linspace(0.0, t_end, num_points)
+    rows = []
+    for tr in traces:
+        times = tr.times
+        vals = tr.column(metric)
+        idx = np.searchsorted(times, grid, side="right") - 1
+        rows.append(np.where(idx >= 0, vals[np.maximum(idx, 0)], 0.0))
+    stacked = np.stack(rows)
+    return Band(x=grid, mean=stacked.mean(axis=0), std=stacked.std(axis=0))
+
+
+def multi_seed_suite(
+    dataset: str,
+    iid: bool,
+    seeds: Sequence[int],
+    **suite_kwargs,
+) -> Dict[str, List[Trace]]:
+    """Run :func:`run_policy_suite` once per seed; group traces by policy."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    out: Dict[str, List[Trace]] = {}
+    for seed in seeds:
+        traces = run_policy_suite(dataset, iid, seed=seed, **suite_kwargs)
+        for name, tr in traces.items():
+            out.setdefault(name, []).append(tr)
+    return out

@@ -1,0 +1,99 @@
+"""Trace invariant checking.
+
+A run of the budget-constrained FL process must satisfy structural
+invariants regardless of policy or configuration.  :func:`validate_trace`
+checks them all and returns the violations (empty list = clean), so tests
+and post-hoc analyses share one definition of "well-formed run":
+
+* I1  budget: total spend <= C and remaining_budget is its running mirror
+* I2  time: cumulative_time is strictly increasing and equals the sum of
+      epoch latencies
+* I3  participation: num_selected >= min(n, num_available) and
+      num_selected <= num_available
+* I4  iterations: l_t >= 1; FedL's ρ (when finite) satisfies
+      ceil(ρ) == l_t and ρ >= 1
+* I5  bounded metrics: accuracies in [0, 1], losses nonnegative, failures
+      within the selection
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.experiments.metrics import Trace
+
+__all__ = ["validate_trace"]
+
+
+def validate_trace(
+    trace: Trace,
+    config: ExperimentConfig,
+    atol: float = 1e-6,
+) -> List[str]:
+    """Return a list of human-readable invariant violations (empty = ok)."""
+    problems: List[str] = []
+    if len(trace) == 0:
+        return problems
+
+    # I1 — budget accounting.
+    spent = trace.column("cost_spent")
+    remaining = trace.column("remaining_budget")
+    if spent.sum() > config.budget + atol:
+        problems.append(
+            f"I1: total spend {spent.sum():.4f} exceeds budget {config.budget}"
+        )
+    running = config.budget - np.cumsum(spent)
+    if not np.allclose(running, remaining, atol=atol):
+        problems.append("I1: remaining_budget does not mirror cumulative spend")
+    if np.any(remaining < -atol):
+        problems.append("I1: remaining_budget went negative")
+
+    # I2 — time accounting.
+    times = trace.times
+    lat = trace.column("epoch_latency")
+    if np.any(np.diff(times) <= 0):
+        problems.append("I2: cumulative_time is not strictly increasing")
+    if not np.allclose(np.cumsum(lat), times, atol=atol):
+        problems.append("I2: cumulative_time != cumsum(epoch_latency)")
+    if np.any(lat <= 0):
+        problems.append("I2: nonpositive epoch latency")
+
+    # I3 — participation.
+    sel = trace.column("num_selected")
+    avail = trace.column("num_available")
+    n = config.min_participants
+    if np.any(sel > avail):
+        problems.append("I3: selected more clients than available")
+    if np.any(sel < np.minimum(n, avail)):
+        problems.append("I3: participation floor violated")
+
+    # I4 — iteration control.
+    iters = trace.column("iterations")
+    if np.any(iters < 1):
+        problems.append("I4: iterations < 1")
+    rho = trace.column("rho")
+    finite = np.isfinite(rho)
+    if np.any(finite):
+        if np.any(rho[finite] < 1.0 - atol):
+            problems.append("I4: rho < 1")
+        expected = np.array([math.ceil(r - 1e-9) for r in rho[finite]])
+        if np.any(expected != iters[finite]):
+            problems.append("I4: iterations != ceil(rho)")
+
+    # I5 — bounded metrics.
+    acc = trace.accuracy
+    if np.any((acc < 0) | (acc > 1)):
+        problems.append("I5: accuracy outside [0, 1]")
+    if np.any(trace.column("test_loss") < 0):
+        problems.append("I5: negative test loss")
+    if np.any(trace.column("population_loss") < 0):
+        problems.append("I5: negative population loss")
+    failed = trace.column("num_failed")
+    if np.any((failed < 0) | (failed > sel)):
+        problems.append("I5: failure count outside [0, num_selected]")
+
+    return problems

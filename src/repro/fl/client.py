@@ -1,0 +1,142 @@
+"""An FL client: holds this epoch's local data and runs the DANE solve.
+
+Clients share one :class:`repro.nn.models.ClassifierModel` instance (the
+architecture); all state that differs between clients — data, RNG stream,
+the current displacement — lives here.  Sharing the network object is safe
+because the simulator executes clients sequentially and every loss/grad
+call re-loads its parameter vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.fl.convergence import estimate_local_accuracy
+from repro.fl.dane import DaneWorkspace, dane_local_step
+from repro.nn.models import ClassifierModel
+
+__all__ = ["FLClient"]
+
+
+class FLClient:
+    """One mobile device participating in federated training."""
+
+    def __init__(
+        self,
+        client_id: int,
+        model: ClassifierModel,
+        rng: np.random.Generator,
+        sgd_steps: int = 5,
+        sgd_lr: float = 0.05,
+        sigma1: float = 1.0,
+        sigma2: float = 1.0,
+        batch_size: int = 32,
+        local_solver: str = "dane",
+        momentum: float = 0.0,
+    ) -> None:
+        if sgd_steps < 1:
+            raise ValueError("sgd_steps must be >= 1")
+        if sgd_lr <= 0:
+            raise ValueError("sgd_lr must be positive")
+        if local_solver not in ("dane", "fedprox"):
+            raise ValueError(f"unknown local solver {local_solver!r}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must be in [0, 1)")
+        self.client_id = client_id
+        self.model = model
+        self.rng = rng
+        self.sgd_steps = sgd_steps
+        self.sgd_lr = sgd_lr
+        self.sigma1 = sigma1
+        self.sigma2 = sigma2
+        self.batch_size = batch_size
+        self.local_solver = local_solver
+        self.momentum = momentum
+        self._data: Optional[Dataset] = None
+
+    # -- per-epoch data ----------------------------------------------------------
+
+    def set_data(self, data: Dataset) -> None:
+        """Install this epoch's local dataset D_{t,k}."""
+        if len(data) == 0:
+            raise ValueError("client data must be nonempty")
+        self._data = data
+
+    @property
+    def data(self) -> Dataset:
+        if self._data is None:
+            raise RuntimeError(f"client {self.client_id} has no data this epoch")
+        return self._data
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.data)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def local_loss(self, w: np.ndarray) -> float:
+        """F_{t,k}(w) on the full local dataset."""
+        return self.model.loss(w, self.data.x, self.data.y)
+
+    def local_grad(self, w: np.ndarray) -> np.ndarray:
+        """∇F_{t,k}(w) on the full local dataset."""
+        _, g = self.model.loss_and_grad(w, self.data.x, self.data.y)
+        return g
+
+    # -- training -------------------------------------------------------------
+
+    def train_iteration(
+        self,
+        w_global: np.ndarray,
+        global_grad: np.ndarray,
+        target_eta: Optional[float] = None,
+    ) -> Tuple[np.ndarray, float, List[float]]:
+        """One DANE local solve at the broadcast model.
+
+        ``target_eta`` is the server's tolerated local accuracy η_t: the
+        inner SGD stops early once the estimated accuracy reaches it
+        (paper's iteration-control coupling).
+
+        Returns ``(d, η̂, trajectory)``: the model difference to upload, the
+        estimated local convergence accuracy, and the full-batch surrogate
+        trajectory (for diagnostics/tests).
+        """
+        loss_val, local_g = self.model.loss_and_grad(
+            w_global, self.data.x, self.data.y
+        )
+        if self.local_solver == "dane":
+            ws = DaneWorkspace(
+                w_global=np.asarray(w_global, dtype=float),
+                local_grad_at_w=local_g,
+                global_grad=np.asarray(global_grad, dtype=float),
+                sigma1=self.sigma1,
+                sigma2=self.sigma2,
+            )
+        else:
+            # FedProx (paper's related work [15]): the pure proximal
+            # objective F_k(w + d) + σ1/2 ‖d‖² — DANE with the
+            # gradient-correction linear term removed.
+            zeros = np.zeros_like(np.asarray(w_global, dtype=float))
+            ws = DaneWorkspace(
+                w_global=np.asarray(w_global, dtype=float),
+                local_grad_at_w=zeros,
+                global_grad=zeros,
+                sigma1=self.sigma1,
+                sigma2=0.0,
+            )
+        d, trajectory = dane_local_step(
+            self.model,
+            ws,
+            self.data,
+            max_steps=self.sgd_steps,
+            lr=self.sgd_lr,
+            batch_size=self.batch_size,
+            rng=self.rng,
+            target_eta=target_eta,
+            momentum=self.momentum,
+        )
+        eta_hat = estimate_local_accuracy(trajectory)
+        return d, eta_hat, trajectory

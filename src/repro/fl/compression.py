@@ -1,0 +1,159 @@
+"""Communication-efficient uploads: sparsification, quantization, CMFL.
+
+The paper's latency model charges every upload a fixed ``s`` bits; its
+related work (CMFL, Wang et al. [28]) reduces communication by filtering
+or compressing updates.  This module implements the three standard tools
+and the bit accounting that couples them back into the latency model:
+
+* :func:`topk_sparsify` — keep the ``k`` largest-magnitude coordinates
+  (the classic gradient-sparsification scheme); transmitted size is
+  ``k · (value_bits + index_bits)``.
+* :func:`uniform_quantize` — symmetric uniform quantization to ``bits``
+  bits per coordinate (plus one float scale).
+* :func:`cmfl_relevance` — CMFL's sign-agreement score between a local
+  update and the previous global update; uploads below a threshold are
+  suppressed entirely (their size is 1 control bit).
+
+All three return a :class:`CompressedUpdate` carrying both the decoded
+(lossy) vector the server aggregates and the exact ``bits`` the client
+sent, so the simulator's τ_cm reflects the compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CompressedUpdate",
+    "CompressionSpec",
+    "topk_sparsify",
+    "uniform_quantize",
+    "cmfl_relevance",
+    "compress_update",
+]
+
+#: IEEE-754 single precision per transmitted float.
+FLOAT_BITS = 32
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Configuration bundle for per-upload compression."""
+
+    scheme: str = "none"        # "none" | "topk" | "quantize" | "cmfl"
+    topk_fraction: float = 0.1
+    quantize_bits: int = 8
+    cmfl_threshold: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("none", "topk", "quantize", "cmfl"):
+            raise ValueError(f"unknown compression scheme {self.scheme!r}")
+        if not (0.0 < self.topk_fraction <= 1.0):
+            raise ValueError("topk_fraction must be in (0, 1]")
+        if not (1 <= self.quantize_bits <= 32):
+            raise ValueError("quantize_bits must be in [1, 32]")
+        if not (0.0 <= self.cmfl_threshold <= 1.0):
+            raise ValueError("cmfl_threshold must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CompressedUpdate:
+    """A decoded update plus the bits its encoding occupied on the air."""
+
+    vector: np.ndarray
+    bits: float
+    kept: bool = True          # False when CMFL suppressed the upload
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector", np.asarray(self.vector, dtype=float))
+        if self.bits < 0:
+            raise ValueError("bits must be nonnegative")
+
+
+def topk_sparsify(d: np.ndarray, k: int) -> CompressedUpdate:
+    """Keep the k largest-|·| coordinates; zero the rest.
+
+    Size: ``k`` values at FLOAT_BITS plus ``k`` indices at
+    ``ceil(log2 P)`` bits.
+    """
+    d = np.asarray(d, dtype=float)
+    p = d.size
+    if not (1 <= k <= p):
+        raise ValueError("k must be in [1, P]")
+    out = np.zeros_like(d)
+    idx = np.argpartition(np.abs(d), p - k)[p - k:]
+    out[idx] = d[idx]
+    index_bits = int(np.ceil(np.log2(max(p, 2))))
+    return CompressedUpdate(vector=out, bits=float(k * (FLOAT_BITS + index_bits)))
+
+
+def uniform_quantize(d: np.ndarray, bits: int) -> CompressedUpdate:
+    """Symmetric uniform quantization to ``bits`` bits per coordinate.
+
+    Values are snapped to the ``2^bits − 1`` levels spanning
+    ``[−max|d|, +max|d|]``; one FLOAT_BITS scale is transmitted alongside.
+    Quantization error per coordinate is at most half a step.
+    """
+    d = np.asarray(d, dtype=float)
+    if not (1 <= bits <= 32):
+        raise ValueError("bits must be in [1, 32]")
+    scale = float(np.max(np.abs(d)))
+    if scale == 0.0:
+        return CompressedUpdate(vector=np.zeros_like(d), bits=float(FLOAT_BITS))
+    levels = 2**bits - 1
+    step = 2.0 * scale / levels
+    q = np.round((d + scale) / step)
+    decoded = q * step - scale
+    return CompressedUpdate(
+        vector=decoded, bits=float(d.size * bits + FLOAT_BITS)
+    )
+
+
+def cmfl_relevance(d: np.ndarray, global_direction: np.ndarray) -> float:
+    """CMFL sign-agreement: fraction of coordinates whose sign matches the
+    previous global update's sign (zeros count as agreeing)."""
+    d = np.asarray(d, dtype=float)
+    g = np.asarray(global_direction, dtype=float)
+    if d.shape != g.shape:
+        raise ValueError("shapes differ")
+    if d.size == 0:
+        raise ValueError("empty update")
+    agree = np.sign(d) * np.sign(g) >= 0
+    return float(agree.mean())
+
+
+def compress_update(
+    d: np.ndarray,
+    scheme: str,
+    global_direction: np.ndarray | None = None,
+    topk_fraction: float = 0.1,
+    quantize_bits: int = 8,
+    cmfl_threshold: float = 0.6,
+    full_bits: float | None = None,
+) -> CompressedUpdate:
+    """Apply one named compression scheme.
+
+    ``scheme``: ``"none"`` | ``"topk"`` | ``"quantize"`` | ``"cmfl"``.
+    ``full_bits`` overrides the uncompressed size (defaults to
+    ``P · FLOAT_BITS``); CMFL-suppressed uploads cost 1 bit.
+    """
+    d = np.asarray(d, dtype=float)
+    base_bits = float(full_bits) if full_bits is not None else float(d.size * FLOAT_BITS)
+    if scheme == "none":
+        return CompressedUpdate(vector=d.copy(), bits=base_bits)
+    if scheme == "topk":
+        k = max(1, int(round(topk_fraction * d.size)))
+        return topk_sparsify(d, k)
+    if scheme == "quantize":
+        return uniform_quantize(d, quantize_bits)
+    if scheme == "cmfl":
+        if global_direction is None:
+            return CompressedUpdate(vector=d.copy(), bits=base_bits)
+        if cmfl_relevance(d, global_direction) < cmfl_threshold:
+            return CompressedUpdate(
+                vector=np.zeros_like(d), bits=1.0, kept=False
+            )
+        return CompressedUpdate(vector=d.copy(), bits=base_bits)
+    raise ValueError(f"unknown compression scheme {scheme!r}")

@@ -1,0 +1,147 @@
+"""DANE-style local surrogate objective and inner SGD (paper Sec. 3.1-2).
+
+Each global iteration ``i``, client ``k`` solves
+
+    min_d  G_{t,k}(d) = F_{t,k}(w + d) + σ1/2 ‖d‖²
+                        − (∇F_{t,k}(w) − σ2 · ḡ)ᵀ d,
+
+where ``w`` is the broadcast global model and ``ḡ`` the aggregated global
+gradient broadcast by the server (the paper's ``J_t(·)``; following FEDL
+[7] we take the aggregated *gradient* — the gradient-correction term is
+what makes the scheme a distributed approximate Newton method.  The paper's
+notation writes the aggregated loss there, which cannot enter an inner
+product with ``d``; see DESIGN.md).
+
+Gradient of the surrogate::
+
+    ∇G(d) = ∇F_{t,k}(w + d) + σ1 d − ∇F_{t,k}(w) + σ2 ḡ.
+
+At ``d = 0``: ``∇G(0) = σ2 ḡ`` — the first inner step moves along the
+global gradient, then local curvature refines it.
+
+The inner solver is plain minibatch SGD with at most ``max_steps``
+gradient steps (the paper: "the maximal value of gradient steps j is a
+pre-defined constant"), starting from ``d = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.nn.models import ClassifierModel
+
+__all__ = ["DaneWorkspace", "dane_surrogate_value", "dane_local_step"]
+
+
+@dataclass(frozen=True)
+class DaneWorkspace:
+    """Frozen per-iteration context for one client's local solve."""
+
+    w_global: np.ndarray        # broadcast model w_t^{i-1}
+    local_grad_at_w: np.ndarray  # ∇F_{t,k}(w) on the full local batch
+    global_grad: np.ndarray      # ḡ = server-aggregated gradient (J_t)
+    sigma1: float
+    sigma2: float
+
+    def __post_init__(self) -> None:
+        for name in ("w_global", "local_grad_at_w", "global_grad"):
+            object.__setattr__(self, name, np.asarray(getattr(self, name), dtype=float))
+        if self.local_grad_at_w.shape != self.w_global.shape:
+            raise ValueError("local gradient shape mismatch")
+        if self.global_grad.shape != self.w_global.shape:
+            raise ValueError("global gradient shape mismatch")
+        if self.sigma1 < 0 or self.sigma2 < 0:
+            raise ValueError("sigma1/sigma2 must be nonnegative")
+
+    def linear_term(self) -> np.ndarray:
+        """The constant vector ``∇F_k(w) − σ2 ḡ`` in the surrogate."""
+        return self.local_grad_at_w - self.sigma2 * self.global_grad
+
+
+def dane_surrogate_value(
+    model: ClassifierModel,
+    ws: DaneWorkspace,
+    d: np.ndarray,
+    data: Dataset,
+) -> float:
+    """``G_{t,k}(d)`` evaluated on the client's full local batch."""
+    d = np.asarray(d, dtype=float)
+    f = model.loss(ws.w_global + d, data.x, data.y)
+    return f + 0.5 * ws.sigma1 * float(d @ d) - float(ws.linear_term() @ d)
+
+
+def _surrogate_grad(
+    model: ClassifierModel,
+    ws: DaneWorkspace,
+    d: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """(G value on batch, ∇G on batch) at displacement ``d``."""
+    f, g = model.loss_and_grad(ws.w_global + d, x, y)
+    val = f + 0.5 * ws.sigma1 * float(d @ d) - float(ws.linear_term() @ d)
+    grad = g + ws.sigma1 * d - ws.linear_term()
+    return val, grad
+
+
+def dane_local_step(
+    model: ClassifierModel,
+    ws: DaneWorkspace,
+    data: Dataset,
+    max_steps: int,
+    lr: float,
+    batch_size: int,
+    rng: np.random.Generator,
+    target_eta: Optional[float] = None,
+    momentum: float = 0.0,
+) -> Tuple[np.ndarray, List[float]]:
+    """Run the inner SGD on ``G_{t,k}`` from ``d = 0``.
+
+    ``target_eta`` implements the paper's iteration-control semantics: the
+    client iterates *until* its local convergence accuracy reaches the
+    tolerated ``η_t`` chosen by the server (estimated from the surrogate
+    trajectory after each step), subject to the hard cap ``max_steps``
+    ("the maximal value of gradient steps j is a pre-defined constant").
+    ``None`` runs exactly ``max_steps`` steps.
+
+    Returns ``(d, trajectory)`` where ``trajectory`` holds the *full-batch*
+    surrogate values ``[G(d_0), …, G(d_J)]`` used by
+    :func:`repro.fl.convergence.estimate_local_accuracy`.
+    """
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    if lr <= 0:
+        raise ValueError("lr must be positive")
+    if target_eta is not None and not (0.0 <= target_eta < 1.0):
+        raise ValueError("target_eta must be in [0, 1)")
+    if not (0.0 <= momentum < 1.0):
+        raise ValueError("momentum must be in [0, 1)")
+    from repro.fl.convergence import estimate_local_accuracy
+
+    n = len(data)
+    bs = min(batch_size, n)
+    d = np.zeros_like(ws.w_global)
+    velocity = np.zeros_like(d)
+    trajectory = [dane_surrogate_value(model, ws, d, data)]
+    for step in range(max_steps):
+        idx = rng.choice(n, size=bs, replace=False) if bs < n else np.arange(n)
+        _, grad = _surrogate_grad(model, ws, d, data.x[idx], data.y[idx])
+        if momentum > 0.0:
+            # Heavy-ball inner updates (Momentum Federated Learning,
+            # paper's related work [17]).
+            velocity = momentum * velocity - lr * grad
+            d = d + velocity
+        else:
+            d = d - lr * grad
+        trajectory.append(dane_surrogate_value(model, ws, d, data))
+        if (
+            target_eta is not None
+            and step >= 1  # need >= 3 trajectory points for the estimator
+            and estimate_local_accuracy(trajectory) <= target_eta
+        ):
+            break
+    return d, trajectory

@@ -1,0 +1,174 @@
+"""Execution of one federated epoch (paper Alg. 1, lines 2-5).
+
+An epoch consists of ``l_t`` global iterations; each iteration:
+
+1. the server broadcasts ``w^{i-1}`` and the aggregated gradient ``ḡ``,
+2. every *selected* client runs its DANE local solve and uploads
+   ``d^i_{t,k}`` (plus its fresh local gradient),
+3. the server aggregates: ``w^i = w^{i-1} + avg(d)``, ``ḡ = avg(∇F_k(w^i))``.
+
+The runner also records everything the FedL controller needs to observe
+*after* acting: per-client local accuracies ``η̂^i_{t,k}``, the participant
+loss ``F̃_t(w^{l_t})``, and the all-available-clients loss ``F_t(w^{l_t})``
+for constraint (3d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.fl.client import FLClient
+from repro.fl.server import FLServer
+
+__all__ = ["RoundResult", "run_federated_round"]
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Observables of one epoch, available once the epoch has run."""
+
+    w: np.ndarray                       # w_t^{l_t}
+    iterations: int                     # l_t actually performed
+    local_etas: np.ndarray              # max-over-iterations η̂_{t,k} (NaN if not selected)
+    participant_loss: float             # F̃_t(w^{l_t}) (selected clients, x-weighted)
+    population_loss: float              # F_t(w^{l_t}) over all available clients
+    test_accuracy: float
+    test_loss: float
+    eta_max: float                      # max_k η̂_{t,k} over participants (paper eq. 1)
+    upload_ratio: np.ndarray = None     # (M,) mean compressed/full upload size
+                                        # per participant (1.0 for non-participants)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "w", np.asarray(self.w, dtype=float))
+        object.__setattr__(self, "local_etas", np.asarray(self.local_etas, dtype=float))
+        if self.upload_ratio is None:
+            object.__setattr__(
+                self, "upload_ratio", np.ones_like(self.local_etas)
+            )
+        else:
+            object.__setattr__(
+                self, "upload_ratio", np.asarray(self.upload_ratio, dtype=float)
+            )
+
+
+def run_federated_round(
+    server: FLServer,
+    clients: Sequence[FLClient],
+    selected_mask: np.ndarray,
+    available_mask: np.ndarray,
+    iterations: int,
+    target_eta: float | None = None,
+    aggregation: str = "uniform",
+    compression: "CompressionSpec | None" = None,
+    dp_spec: "DPSpec | None" = None,
+    dp_rng: np.random.Generator | None = None,
+    dp_accountant: "PrivacyAccountant | None" = None,
+) -> RoundResult:
+    """Run ``iterations`` global iterations with the given participants.
+
+    ``target_eta`` is forwarded to every client's local solve (the
+    tolerated local accuracy η_t implied by the iteration decision).
+    ``aggregation``: ``"uniform"`` (the paper's update) averages the
+    differences equally; ``"weighted"`` weights by local data size
+    (standard FedAvg).  ``compression`` (a
+    :class:`repro.fl.compression.CompressionSpec`) lossy-compresses every
+    upload before aggregation and reports the realized size ratios so the
+    latency model can charge the smaller payloads.
+    """
+    if aggregation not in ("uniform", "weighted"):
+        raise ValueError(f"unknown aggregation {aggregation!r}")
+    sel = np.asarray(selected_mask, dtype=bool)
+    avail = np.asarray(available_mask, dtype=bool)
+    if sel.shape != avail.shape or sel.size != len(clients):
+        raise ValueError("mask shapes must match the client list")
+    if np.any(sel & ~avail):
+        raise ValueError("cannot select an unavailable client")
+    participants: List[FLClient] = [c for c in clients if sel[c.client_id]]
+    if not participants:
+        raise ValueError("at least one client must be selected")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    num_available = int(avail.sum())
+    # Initial aggregated gradient at the incoming model.
+    global_grad = FLServer.aggregate_gradients(
+        [c.local_grad(server.w) for c in participants]
+    )
+    eta_by_client: Dict[int, float] = {}
+    ratio_sum = np.zeros(len(clients))
+    prev_global_delta: np.ndarray | None = None
+    for _ in range(iterations):
+        w_broadcast = server.w.copy()
+        updates: List[np.ndarray] = []
+        for client in participants:
+            d, eta_hat, _ = client.train_iteration(
+                w_broadcast, global_grad, target_eta=target_eta
+            )
+            if dp_spec is not None:
+                # DP first (clip + noise on the raw update, [29] defense),
+                # then any compression of the privatized payload.
+                from repro.fl.privacy import gaussian_mechanism
+
+                gen = dp_rng if dp_rng is not None else client.rng
+                d = gaussian_mechanism(d, dp_spec, gen)
+                if dp_accountant is not None:
+                    dp_accountant.spend(dp_spec)
+            if compression is not None and compression.scheme != "none":
+                from repro.fl.compression import FLOAT_BITS, compress_update
+
+                comp = compress_update(
+                    d,
+                    compression.scheme,
+                    global_direction=prev_global_delta,
+                    topk_fraction=compression.topk_fraction,
+                    quantize_bits=compression.quantize_bits,
+                    cmfl_threshold=compression.cmfl_threshold,
+                )
+                ratio_sum[client.client_id] += comp.bits / (d.size * FLOAT_BITS)
+                d = comp.vector
+            else:
+                ratio_sum[client.client_id] += 1.0
+            updates.append(d)
+            prev = eta_by_client.get(client.client_id, 0.0)
+            eta_by_client[client.client_id] = max(prev, eta_hat)
+        server.aggregate_updates(
+            updates,
+            num_available=num_available,
+            sample_counts=(
+                [c.num_samples for c in participants]
+                if aggregation == "weighted"
+                else None
+            ),
+        )
+        prev_global_delta = server.w - w_broadcast
+        global_grad = FLServer.aggregate_gradients(
+            [c.local_grad(server.w) for c in participants]
+        )
+
+    # Observables.
+    local_etas = np.full(len(clients), np.nan)
+    for cid, eta in eta_by_client.items():
+        local_etas[cid] = eta
+    sizes = np.asarray([c.num_samples for c in participants], dtype=float)
+    weights = sizes / sizes.sum()
+    participant_loss = float(
+        weights @ np.asarray([c.local_loss(server.w) for c in participants])
+    )
+    population_loss = server.weighted_population_loss(clients, avail)
+    upload_ratio = np.ones(len(clients))
+    for c in participants:
+        upload_ratio[c.client_id] = ratio_sum[c.client_id] / iterations
+    return RoundResult(
+        w=server.w.copy(),
+        iterations=iterations,
+        local_etas=local_etas,
+        participant_loss=participant_loss,
+        population_loss=population_loss,
+        test_accuracy=server.test_accuracy(),
+        test_loss=server.test_loss(),
+        eta_max=max(eta_by_client.values()),
+        upload_ratio=upload_ratio,
+    )

@@ -1,0 +1,111 @@
+"""Time-varying wireless channel: shadowing and per-epoch channel gains.
+
+Each epoch the channel gain of client ``k`` is
+
+    h_{t,k} = 10^(−(PL(d_k) + X_{t,k}) / 10),
+
+where ``PL`` is the 3GPP path loss (:mod:`repro.net.pathloss`) and
+``X_{t,k}`` is log-normal shadow fading — one of the paper's three sources
+of time variation (availability, data volume, *network connection
+status*).  Shadowing evolves as a stationary AR(1) process in dB,
+
+    X_{t+1} = φ X_t + √(1−φ²) · N(0, σ_sh²),
+
+with ``φ = shadowing_corr``: shadowing models slowly-changing obstacles,
+so it is correlated across epochs (``φ = 0`` recovers the i.i.d.
+extreme).  The stationary standard deviation is exactly the configured
+``σ_sh`` (8 dB per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import NetworkConfig
+from repro.net.pathloss import db_to_linear, dbm_to_watt, pathloss_db
+
+__all__ = ["ChannelState", "ChannelModel"]
+
+
+@dataclass(frozen=True)
+class ChannelState:
+    """Per-epoch channel snapshot for all M clients."""
+
+    gains: np.ndarray            # linear channel gains h_{t,k}, shape (M,)
+    tx_power_watt: np.ndarray    # p_k in watts, shape (M,)
+    noise_psd_watt_hz: float     # N0 in W/Hz
+
+    def __post_init__(self) -> None:
+        g = np.asarray(self.gains, dtype=float)
+        p = np.asarray(self.tx_power_watt, dtype=float)
+        if g.shape != p.shape:
+            raise ValueError("gains and tx_power must have the same shape")
+        if np.any(g <= 0) or np.any(p <= 0):
+            raise ValueError("gains and powers must be positive")
+        object.__setattr__(self, "gains", g)
+        object.__setattr__(self, "tx_power_watt", p)
+
+    @property
+    def num_clients(self) -> int:
+        return self.gains.size
+
+    def snr_per_hz(self) -> np.ndarray:
+        """``h_k p_k / N0`` — SNR density used in the FDMA rate formula."""
+        return self.gains * self.tx_power_watt / self.noise_psd_watt_hz
+
+
+class ChannelModel:
+    """Generates per-epoch :class:`ChannelState` for a fixed client layout."""
+
+    def __init__(
+        self,
+        distances_m: np.ndarray,
+        config: NetworkConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        d = np.asarray(distances_m, dtype=float)
+        if np.any(d < 0):
+            raise ValueError("distances must be nonnegative")
+        self.distances_m = np.maximum(d, config.min_distance_m)
+        self.config = config
+        self.rng = rng
+        self._pl_db = np.asarray(pathloss_db(self.distances_m), dtype=float)
+        self._tx_watt = np.full(
+            self.distances_m.shape, dbm_to_watt(config.tx_power_dbm)
+        )
+        self._n0_watt = float(dbm_to_watt(config.noise_psd_dbm_hz))
+        # Stationary AR(1) start: draw from the stationary distribution.
+        self._shadow_db = self.rng.normal(
+            0.0, config.shadowing_std_db, size=self.distances_m.shape
+        )
+
+    @property
+    def num_clients(self) -> int:
+        return self.distances_m.size
+
+    def sample(self) -> ChannelState:
+        """Advance the shadowing AR(1) one epoch and return the channel."""
+        phi = self.config.shadowing_corr
+        innovation = self.rng.normal(
+            0.0, self.config.shadowing_std_db, size=self.distances_m.shape
+        )
+        self._shadow_db = phi * self._shadow_db + np.sqrt(1.0 - phi**2) * innovation
+        gains = np.asarray(
+            db_to_linear(-(self._pl_db + self._shadow_db)), dtype=float
+        )
+        return ChannelState(
+            gains=gains,
+            tx_power_watt=self._tx_watt,
+            noise_psd_watt_hz=self._n0_watt,
+        )
+
+    def mean_state(self) -> ChannelState:
+        """Channel with shadowing at its mean (0 dB) — for deterministic tests."""
+        gains = np.asarray(db_to_linear(-self._pl_db), dtype=float)
+        return ChannelState(
+            gains=gains,
+            tx_power_watt=self._tx_watt,
+            noise_psd_watt_hz=self._n0_watt,
+        )

@@ -1,0 +1,135 @@
+"""FDMA uplink rates and bandwidth allocation (paper Sec. 3.2).
+
+The achievable rate of client ``k`` with bandwidth ``b_{t,k}`` is
+
+    r_{t,k} = b_{t,k} · log2(1 + h_k p_k / (N0 b_{t,k})),
+
+with the cell-wide constraint ``Σ_k b_{t,k} = B``.  Besides the equal-share
+policy (what the paper's baselines effectively assume), we provide a
+water-filling-style allocator that equalizes transmission latency across
+the selected clients — useful because the epoch latency is a max over
+clients, so equal-latency allocation is the bandwidth-optimal choice for a
+fixed selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.channel import ChannelState
+
+__all__ = ["achievable_rate", "equal_share_bandwidth", "allocate_bandwidth"]
+
+
+def achievable_rate(
+    bandwidth_hz: np.ndarray | float,
+    snr_per_hz: np.ndarray | float,
+) -> np.ndarray | float:
+    """Shannon FDMA rate ``b · log2(1 + snr_hz / b)`` in bits/s.
+
+    ``snr_per_hz = h p / N0`` has units of Hz.  The expression is concave
+    and increasing in ``b`` and tends to ``snr_per_hz / ln 2`` as b → ∞.
+    Zero bandwidth yields zero rate (the b → 0 limit).
+    """
+    b = np.asarray(bandwidth_hz, dtype=float)
+    s = np.asarray(snr_per_hz, dtype=float)
+    if np.any(b < 0):
+        raise ValueError("bandwidth must be nonnegative")
+    if np.any(s < 0):
+        raise ValueError("snr must be nonnegative")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(b > 0, b * np.log2(1.0 + np.divide(
+            s, np.where(b > 0, b, 1.0))), 0.0)
+    if np.isscalar(bandwidth_hz) and np.isscalar(snr_per_hz):
+        return float(out)
+    return out
+
+
+def equal_share_bandwidth(total_hz: float, num_sharing: int) -> float:
+    """Equal split of the band among ``num_sharing`` active uploaders."""
+    if num_sharing <= 0:
+        raise ValueError("need at least one sharing client")
+    if total_hz <= 0:
+        raise ValueError("total bandwidth must be positive")
+    return total_hz / num_sharing
+
+
+def allocate_bandwidth(
+    channel: ChannelState,
+    selected: np.ndarray,
+    total_hz: float,
+    upload_bits: float,
+    policy: str = "equal",
+    tol: float = 1e-9,
+    max_iters: int = 100,
+) -> np.ndarray:
+    """Allocate the band ``B`` among the selected clients.
+
+    Parameters
+    ----------
+    channel:
+        Current epoch's channel state.
+    selected:
+        Boolean mask (M,) of uploading clients.
+    policy:
+        ``"equal"`` — equal share, or ``"min_latency"`` — bisection on the
+        common upload latency τ so that ``Σ b_k(τ) = B`` where ``b_k(τ)``
+        is the smallest bandwidth giving client k latency τ (equalizes
+        τ_cm across clients, minimizing the max).
+
+    Returns
+    -------
+    np.ndarray
+        Per-client bandwidth in Hz (zeros for unselected clients).
+    """
+    sel = np.asarray(selected, dtype=bool)
+    m = sel.size
+    bw = np.zeros(m, dtype=float)
+    count = int(sel.sum())
+    if count == 0:
+        return bw
+    if policy == "equal":
+        bw[sel] = equal_share_bandwidth(total_hz, count)
+        return bw
+    if policy != "min_latency":
+        raise ValueError(f"unknown bandwidth policy: {policy}")
+
+    snr = channel.snr_per_hz()[sel]
+
+    def bits_sent(b: np.ndarray, tau: float) -> np.ndarray:
+        return tau * np.asarray(achievable_rate(b, snr), dtype=float)
+
+    def bandwidth_needed(tau: float) -> np.ndarray:
+        """Smallest b_k with rate(b_k) * tau >= upload_bits, via bisection
+        per client (rate is increasing in b)."""
+        lo = np.zeros(count)
+        hi = np.full(count, total_hz)
+        # If even the full band can't meet tau, report the full band.
+        feasible = bits_sent(hi, tau) >= upload_bits
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            ok = bits_sent(mid, tau) >= upload_bits
+            hi = np.where(ok, mid, hi)
+            lo = np.where(ok, lo, mid)
+        return np.where(feasible, hi, total_hz)
+
+    # Bisection on tau: total bandwidth needed decreases as tau grows.
+    tau_lo, tau_hi = 1e-6, 1.0
+    for _ in range(60):
+        if float(bandwidth_needed(tau_hi).sum()) <= total_hz:
+            break
+        tau_hi *= 2.0
+    for _ in range(max_iters):
+        tau = 0.5 * (tau_lo + tau_hi)
+        need = float(bandwidth_needed(tau).sum())
+        if abs(need - total_hz) <= tol * total_hz:
+            break
+        if need > total_hz:
+            tau_lo = tau
+        else:
+            tau_hi = tau
+    b_sel = bandwidth_needed(0.5 * (tau_lo + tau_hi))
+    # Scale to use exactly the full band (never helps to waste bandwidth).
+    scale = total_hz / float(b_sel.sum())
+    bw[sel] = b_sel * scale
+    return bw

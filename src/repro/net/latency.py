@@ -1,0 +1,81 @@
+"""Latency model (paper Sec. 3.2 and 3.3).
+
+Per local iteration of client ``k`` in epoch ``t``:
+
+* local computation  ``τ_loc = e_k · D_{t,k} / π_k``  (cycles-per-bit ×
+  bits of local data ÷ CPU frequency),
+* uplink transmission  ``τ_cm = s / r_{t,k}``.
+
+The client's epoch latency is ``d_k(t) = l_t (τ_loc + τ_cm)`` and the epoch
+latency is the slowest participant, ``d(E_t) = max_k d_k(t)`` (eq. 2) —
+the server aggregates only after everyone has uploaded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "compute_latency",
+    "transmission_latency",
+    "client_latency",
+    "epoch_latency",
+]
+
+
+def compute_latency(
+    cycles_per_bit: np.ndarray | float,
+    data_bits: np.ndarray | float,
+    cpu_freq_hz: np.ndarray | float,
+) -> np.ndarray | float:
+    """Local computation time per iteration: ``e_k · D_bits / π_k`` seconds."""
+    e = np.asarray(cycles_per_bit, dtype=float)
+    d = np.asarray(data_bits, dtype=float)
+    f = np.asarray(cpu_freq_hz, dtype=float)
+    if np.any(e <= 0) or np.any(f <= 0):
+        raise ValueError("cycles_per_bit and cpu_freq must be positive")
+    if np.any(d < 0):
+        raise ValueError("data size must be nonnegative")
+    out = e * d / f
+    return float(out) if out.ndim == 0 else out
+
+
+def transmission_latency(
+    upload_bits: float,
+    rate_bps: np.ndarray | float,
+) -> np.ndarray | float:
+    """Uplink time ``s / r``; infinite when the rate is zero."""
+    if upload_bits <= 0:
+        raise ValueError("upload size must be positive")
+    r = np.asarray(rate_bps, dtype=float)
+    if np.any(r < 0):
+        raise ValueError("rate must be nonnegative")
+    with np.errstate(divide="ignore"):
+        out = np.where(r > 0, upload_bits / np.where(r > 0, r, 1.0), np.inf)
+    return float(out) if out.ndim == 0 else out
+
+
+def client_latency(
+    iterations: float,
+    tau_loc: np.ndarray | float,
+    tau_cm: np.ndarray | float,
+) -> np.ndarray | float:
+    """``d_k(t) = l_t (τ_loc + τ_cm)``."""
+    if iterations < 0:
+        raise ValueError("iterations must be nonnegative")
+    out = iterations * (np.asarray(tau_loc, dtype=float) + np.asarray(tau_cm, dtype=float))
+    return float(out) if np.ndim(out) == 0 else out
+
+
+def epoch_latency(
+    per_client_latency: np.ndarray,
+    selected: np.ndarray,
+) -> float:
+    """``d(E_t) = max over selected clients`` (eq. 2); 0 if none selected."""
+    lat = np.asarray(per_client_latency, dtype=float)
+    sel = np.asarray(selected, dtype=bool)
+    if lat.shape != sel.shape:
+        raise ValueError("latency and selection shapes differ")
+    if not sel.any():
+        return 0.0
+    return float(np.max(lat[sel]))

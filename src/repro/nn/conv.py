@@ -1,0 +1,122 @@
+"""2-D convolution via im2col.
+
+NHWC layout: inputs are ``(N, H, W, C_in)``, kernels ``(KH, KW, C_in,
+C_out)``.  The im2col transform turns convolution into a single GEMM —
+the standard way to get acceptable conv performance from pure NumPy (the
+actual multiply runs in BLAS).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv2D", "im2col_indices", "im2col", "col2im"]
+
+
+def im2col_indices(
+    h: int, w: int, kh: int, kw: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Row/column gather indices for im2col.
+
+    Returns ``(rows, cols, out_h, out_w)`` where ``rows``/``cols`` have
+    shape ``(out_h * out_w, kh * kw)``: entry [p, q] is the input pixel
+    feeding kernel offset q of output position p.
+    """
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel larger than input")
+    base_r = np.repeat(np.arange(out_h) * stride, out_w)
+    base_c = np.tile(np.arange(out_w) * stride, out_h)
+    off_r = np.repeat(np.arange(kh), kw)
+    off_c = np.tile(np.arange(kw), kh)
+    rows = base_r[:, None] + off_r[None, :]
+    cols = base_c[:, None] + off_c[None, :]
+    return rows, cols, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> Tuple[np.ndarray, int, int]:
+    """(N, H, W, C) → (N, out_h*out_w, kh*kw*C) patch matrix."""
+    n, h, w, c = x.shape
+    rows, cols, out_h, out_w = im2col_indices(h, w, kh, kw, stride)
+    patches = x[:, rows, cols, :]            # (N, P, KK, C)
+    return patches.reshape(n, out_h * out_w, kh * kw * c), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to image shape."""
+    n, h, w, c = x_shape
+    rows, idx_cols, out_h, out_w = im2col_indices(h, w, kh, kw, stride)
+    patches = cols.reshape(n, out_h * out_w, kh * kw, c)
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    # scatter-add via flat indices (np.add.at handles duplicates correctly)
+    flat_pix = (rows * w + idx_cols).ravel()             # (P*KK,)
+    out_flat = out.reshape(n, h * w, c)
+    np.add.at(out_flat, (slice(None), flat_pix), patches.reshape(n, -1, c))
+    return out
+
+
+class Conv2D(Module):
+    """Valid (unpadded) strided 2-D convolution with bias."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ValueError("conv hyper-parameters must be positive")
+        gen = rng if rng is not None else np.random.default_rng(0)
+        fan_in = kernel_size * kernel_size * in_channels
+        self.kernel = Parameter(
+            gen.normal(0.0, np.sqrt(2.0 / fan_in),
+                       size=(kernel_size, kernel_size, in_channels, out_channels)),
+            name="conv.kernel",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="conv.bias")
+        self.stride = stride
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.kernel, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[3] != self.kernel.value.shape[2]:
+            raise ValueError(
+                f"Conv2D expected (N, H, W, {self.kernel.value.shape[2]}), got {x.shape}"
+            )
+        kh, kw, c_in, c_out = self.kernel.value.shape
+        cols, out_h, out_w = im2col(x, kh, kw, self.stride)
+        w_mat = self.kernel.value.reshape(kh * kw * c_in, c_out)
+        out = cols @ w_mat + self.bias.value        # (N, P, C_out)
+        self._cache = (cols, x.shape, out_h, out_w)
+        return out.reshape(x.shape[0], out_h, out_w, c_out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, x_shape, out_h, out_w = self._cache
+        kh, kw, c_in, c_out = self.kernel.value.shape
+        n = x_shape[0]
+        g = grad_out.reshape(n, out_h * out_w, c_out)
+        # Parameter grads: sum over batch of colsᵀ g.
+        w_grad = np.einsum("npk,npc->kc", cols, g)
+        self.kernel.grad += w_grad.reshape(kh, kw, c_in, c_out)
+        self.bias.grad += g.sum(axis=(0, 1))
+        # Input grad: g @ Wᵀ back through im2col.
+        w_mat = self.kernel.value.reshape(kh * kw * c_in, c_out)
+        cols_grad = g @ w_mat.T                    # (N, P, KK*C_in)
+        return col2im(cols_grad, x_shape, kh, kw, self.stride)

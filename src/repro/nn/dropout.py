@@ -1,0 +1,49 @@
+"""Inverted dropout layer.
+
+Training mode zeroes each activation with probability ``p`` and scales
+the survivors by ``1/(1−p)`` so the expected activation is unchanged
+(inverted dropout — evaluation needs no rescaling).  ``eval()`` turns the
+layer into the identity, which is how the classifier facade evaluates
+test accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout with an explicit train/eval switch."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        if not (0.0 <= p < 1.0):
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.training = True
+        self._mask: Optional[np.ndarray] = None
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

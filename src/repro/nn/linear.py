@@ -1,0 +1,94 @@
+"""Dense layer and shape adapters."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Linear", "Flatten", "Reshape"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with ``x`` of shape (N, in_dim).
+
+    Weights use He/Glorot-style scaling ``std = sqrt(2 / in_dim)`` which
+    works well with the ReLU activations used in the paper's CNN/MLP
+    configurations.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        weight_scale: Optional[float] = None,
+    ) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError("dimensions must be positive")
+        gen = rng if rng is not None else np.random.default_rng(0)
+        scale = weight_scale if weight_scale is not None else np.sqrt(2.0 / in_dim)
+        self.weight = Parameter(
+            gen.normal(0.0, scale, size=(in_dim, out_dim)), name="linear.weight"
+        )
+        self.bias = Parameter(np.zeros(out_dim), name="linear.bias")
+        self._x: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.value.shape[0]:
+            raise ValueError(
+                f"Linear expected (N, {self.weight.value.shape[0]}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class Flatten(Module):
+    """(N, ...) → (N, prod(...)); remembers the shape for backward."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Reshape(Module):
+    """(N, D) → (N, *target); inverse on backward.
+
+    Used at model entry to turn flattened dataset rows back into image
+    tensors for convolutional stacks.
+    """
+
+    def __init__(self, target: Tuple[int, ...]) -> None:
+        if any(d < 1 for d in target):
+            raise ValueError("target dims must be positive")
+        self.target = tuple(target)
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape((x.shape[0],) + self.target)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._in_shape)

@@ -1,0 +1,65 @@
+"""First-order optimizers and learning-rate schedules.
+
+Operate on flat parameter vectors (the representation used throughout the
+FL machinery), not on Module objects, so the same optimizer drives both
+local SGD inside DANE and the standalone examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["SGD", "constant_schedule", "step_decay_schedule"]
+
+Schedule = Callable[[int], float]
+
+
+def constant_schedule(lr: float) -> Schedule:
+    """Always ``lr``."""
+    if lr <= 0:
+        raise ValueError("lr must be positive")
+    return lambda step: lr
+
+
+def step_decay_schedule(lr: float, decay: float = 0.5, every: int = 100) -> Schedule:
+    """``lr · decay^(step // every)``."""
+    if lr <= 0 or not (0 < decay <= 1) or every < 1:
+        raise ValueError("invalid schedule parameters")
+    return lambda step: lr * decay ** (step // every)
+
+
+class SGD:
+    """Stochastic gradient descent with optional (heavy-ball) momentum."""
+
+    def __init__(
+        self,
+        lr: float | Schedule = 0.05,
+        momentum: float = 0.0,
+    ) -> None:
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must be in [0, 1)")
+        self.schedule: Schedule = lr if callable(lr) else constant_schedule(lr)
+        self.momentum = momentum
+        self._velocity: np.ndarray | None = None
+        self._step = 0
+
+    def reset(self) -> None:
+        self._velocity = None
+        self._step = 0
+
+    def step(self, w: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """One update; returns the new parameter vector (does not mutate w)."""
+        w = np.asarray(w, dtype=float)
+        grad = np.asarray(grad, dtype=float)
+        if grad.shape != w.shape:
+            raise ValueError("gradient shape mismatch")
+        lr = self.schedule(self._step)
+        self._step += 1
+        if self.momentum == 0.0:
+            return w - lr * grad
+        if self._velocity is None or self._velocity.shape != w.shape:
+            self._velocity = np.zeros_like(w)
+        self._velocity = self.momentum * self._velocity - lr * grad
+        return w + self._velocity

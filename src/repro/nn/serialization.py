@@ -1,0 +1,78 @@
+"""Model checkpointing: save/load flat parameters with metadata.
+
+Stores the flat parameter vector plus enough metadata (a caller-supplied
+architecture spec and the parameter count) to catch loading a checkpoint
+into the wrong model — the failure mode that silently corrupts FL
+experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.models import ClassifierModel
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    model: ClassifierModel,
+    path: str | Path,
+    spec: Optional[Mapping] = None,
+    w: Optional[np.ndarray] = None,
+) -> Path:
+    """Write ``w`` (default: the model's current parameters) to ``path``.
+
+    ``spec`` is an arbitrary JSON-serializable architecture description
+    (e.g. the kwargs passed to :func:`repro.nn.models.build_model`); it is
+    stored verbatim and returned on load.
+    """
+    path = Path(path)
+    weights = np.asarray(w if w is not None else model.get_params(), dtype=float)
+    if weights.size != model.num_params:
+        raise ValueError(
+            f"weight vector has {weights.size} entries, model has {model.num_params}"
+        )
+    meta = {
+        "format": FORMAT_VERSION,
+        "num_params": int(weights.size),
+        "num_classes": model.num_classes,
+        "l2_reg": model.l2_reg,
+        "spec": dict(spec) if spec is not None else {},
+    }
+    np.savez(path, weights=weights, meta=np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: Optional[ClassifierModel] = None,
+) -> Tuple[np.ndarray, dict]:
+    """Read ``(weights, meta)``; if ``model`` is given, validate and load.
+
+    Raises if the checkpoint's parameter count or class count disagrees
+    with the target model.
+    """
+    with np.load(Path(path)) as data:
+        weights = np.asarray(data["weights"], dtype=float)
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+    if meta.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format: {meta.get('format')!r}")
+    if int(meta["num_params"]) != weights.size:
+        raise ValueError("checkpoint metadata disagrees with stored weights")
+    if model is not None:
+        if model.num_params != weights.size:
+            raise ValueError(
+                f"checkpoint has {weights.size} params, model {model.num_params}"
+            )
+        if model.num_classes != int(meta["num_classes"]):
+            raise ValueError("class-count mismatch")
+        model.set_params(weights)
+    return weights, meta

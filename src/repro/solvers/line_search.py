@@ -1,0 +1,90 @@
+"""Line-search machinery: Armijo backtracking and filter acceptance.
+
+The filter is the acceptance rule of the interior-point *filter line-search*
+method of Wächter & Biegler (the paper's reference [26] for solving the
+per-epoch subproblem).  A trial point is accepted iff it is not dominated by
+any previously accepted ``(constraint-violation, objective)`` pair; this
+replaces a merit function and avoids tuning a penalty parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["armijo_backtracking", "Filter"]
+
+
+def armijo_backtracking(
+    f: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    fx: float,
+    grad: np.ndarray,
+    direction: np.ndarray,
+    step0: float = 1.0,
+    c1: float = 1e-4,
+    shrink: float = 0.5,
+    max_backtracks: int = 50,
+) -> Tuple[float, float]:
+    """Backtracking line search enforcing the Armijo sufficient decrease
+    condition ``f(x + t d) <= f(x) + c1 t gradᵀd``.
+
+    Returns ``(t, f(x + t d))``.  If the direction is not a descent
+    direction the step collapses to the smallest tried; the caller should
+    treat ``t`` near zero as a stall signal.
+    """
+    slope = float(grad @ direction)
+    t = step0
+    f_new = f(x + t * direction)
+    for _ in range(max_backtracks):
+        if np.isfinite(f_new) and f_new <= fx + c1 * t * slope:
+            return t, f_new
+        t *= shrink
+        f_new = f(x + t * direction)
+    return t, f_new
+
+
+class Filter:
+    """Two-dimensional filter of (θ, φ) = (violation, objective) pairs.
+
+    A pair dominates another if it is no worse in both coordinates.  A trial
+    point is *acceptable* if, after the standard margins
+    ``θ <= (1-γθ) θ_j  or  φ <= φ_j - γφ θ_j`` for every filter entry j,
+    it is not dominated.
+    """
+
+    def __init__(self, gamma_theta: float = 1e-5, gamma_phi: float = 1e-5,
+                 theta_max: Optional[float] = None) -> None:
+        self._entries: List[Tuple[float, float]] = []
+        self.gamma_theta = gamma_theta
+        self.gamma_phi = gamma_phi
+        self.theta_max = theta_max
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def is_acceptable(self, theta: float, phi: float) -> bool:
+        """True if (theta, phi) is not dominated by any filter entry."""
+        if self.theta_max is not None and theta > self.theta_max:
+            return False
+        for th_j, ph_j in self._entries:
+            improves_theta = theta <= (1.0 - self.gamma_theta) * th_j
+            improves_phi = phi <= ph_j - self.gamma_phi * th_j
+            if not (improves_theta or improves_phi):
+                return False
+        return True
+
+    def add(self, theta: float, phi: float) -> None:
+        """Insert (theta, phi), dropping entries it dominates."""
+        kept = [
+            (th, ph)
+            for th, ph in self._entries
+            if not (theta <= th and phi <= ph)
+        ]
+        kept.append((theta, phi))
+        self._entries = kept
+
+    @property
+    def entries(self) -> List[Tuple[float, float]]:
+        return list(self._entries)

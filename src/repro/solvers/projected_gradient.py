@@ -1,0 +1,89 @@
+"""Projected gradient descent with Armijo backtracking.
+
+This is the workhorse used by default to solve FedL's per-epoch descent
+step (paper eq. 8): a smooth convex objective over a projectable convex set.
+The projection operator is supplied by the caller (typically a Dykstra
+composition of the box, budget and participation sets from
+:mod:`repro.solvers.projections`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ProjectedGradientResult", "projected_gradient"]
+
+
+@dataclass(frozen=True)
+class ProjectedGradientResult:
+    """Outcome of a projected-gradient solve."""
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    converged: bool
+    grad_norm: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+
+
+def projected_gradient(
+    objective: Callable[[np.ndarray], float],
+    gradient: Callable[[np.ndarray], np.ndarray],
+    project: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    max_iters: int = 200,
+    tol: float = 1e-8,
+    step0: float = 1.0,
+) -> ProjectedGradientResult:
+    """Minimize ``objective`` over ``{x : x = project(x)}``.
+
+    Each iteration takes a gradient step, projects, and accepts the move by
+    Armijo backtracking *on the projected arc* (the step size scales the
+    gradient before projection).  Convergence is declared when the
+    projected-gradient displacement falls below ``tol``.
+    """
+    x = project(np.asarray(x0, dtype=float))
+    fx = objective(x)
+    step = step0
+    converged = False
+    it = 0
+    for it in range(1, max_iters + 1):
+        g = gradient(x)
+        # Trial step with backtracking on the projected point.
+        t = step
+        accepted = False
+        for _ in range(40):
+            x_new = project(x - t * g)
+            f_new = objective(x_new)
+            # Sufficient decrease relative to the actual displacement.
+            disp = x_new - x
+            if f_new <= fx + 1e-4 * float(g @ disp) + 1e-15:
+                accepted = True
+                break
+            t *= 0.5
+        if not accepted:
+            # No progress possible at any tried step: projected stationary.
+            converged = True
+            break
+        displacement = float(np.linalg.norm(x_new - x))
+        x, fx = x_new, f_new
+        # Mild step-size recovery so we don't stay tiny forever.
+        step = min(step0, t * 2.0)
+        if displacement <= tol * (1.0 + float(np.linalg.norm(x))):
+            converged = True
+            break
+    g = gradient(x)
+    # Projected gradient norm as a stationarity certificate.
+    pg = x - project(x - g)
+    return ProjectedGradientResult(
+        x=x,
+        fun=fx,
+        iterations=it,
+        converged=converged,
+        grad_norm=float(np.linalg.norm(pg)),
+    )

@@ -1,0 +1,188 @@
+"""Euclidean projections onto the simple convex sets used by FedL.
+
+The relaxed per-epoch decision space (paper eq. 6d with (6a)-(6b)) is an
+intersection of
+
+* a box  ``x ∈ [0,1]^K``, ``ρ ∈ [1, ρ_max]``,
+* a budget halfspace  ``cᵀx ≤ C_t``  (constraint 5a restricted to slot t),
+* a participation halfspace  ``1ᵀx ≥ n``  (constraint 5b).
+
+All routines are vectorized NumPy; none copies more than once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "project_box",
+    "project_halfspace",
+    "project_simplex",
+    "project_capped_simplex",
+    "project_box_halfspace",
+    "alternating_projections",
+]
+
+
+def project_box(
+    v: np.ndarray,
+    lo: np.ndarray | float,
+    hi: np.ndarray | float,
+) -> np.ndarray:
+    """Project ``v`` onto the box ``[lo, hi]`` (elementwise clip)."""
+    lo_a = np.asarray(lo, dtype=float)
+    hi_a = np.asarray(hi, dtype=float)
+    if np.any(lo_a > hi_a):
+        raise ValueError("box is empty: lo > hi somewhere")
+    return np.clip(v, lo_a, hi_a)
+
+
+def project_halfspace(v: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
+    """Project ``v`` onto ``{x : aᵀx <= b}``.
+
+    Closed form: if ``aᵀv <= b`` return ``v``; otherwise move along ``a`` by
+    ``(aᵀv - b)/‖a‖²``.
+    """
+    a = np.asarray(a, dtype=float)
+    nrm2 = float(a @ a)
+    if nrm2 == 0.0:
+        if b < 0:
+            raise ValueError("halfspace 0ᵀx <= b with b < 0 is empty")
+        return np.asarray(v, dtype=float)
+    gap = float(a @ v) - b
+    if gap <= 0.0:
+        return np.asarray(v, dtype=float)
+    return v - (gap / nrm2) * a
+
+
+def project_simplex(v: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Project onto the simplex ``{x >= 0, 1ᵀx = radius}``.
+
+    Uses the sort-based algorithm of Held, Wolfe & Crowder (O(K log K)).
+    """
+    if radius <= 0:
+        raise ValueError("simplex radius must be positive")
+    v = np.asarray(v, dtype=float)
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u) - radius
+    idx = np.arange(1, v.size + 1)
+    cond = u - css / idx > 0
+    if not np.any(cond):
+        # Degenerate: all mass on the largest coordinate.
+        out = np.zeros_like(v)
+        out[np.argmax(v)] = radius
+        return out
+    rho = int(np.nonzero(cond)[0][-1])
+    theta = css[rho] / (rho + 1)
+    return np.maximum(v - theta, 0.0)
+
+
+def project_capped_simplex(
+    v: np.ndarray,
+    total: float,
+    cap: float = 1.0,
+    tol: float = 1e-12,
+    max_iters: int = 200,
+) -> np.ndarray:
+    """Project onto ``{0 <= x <= cap, 1ᵀx = total}`` by bisection on the
+    Lagrange multiplier of the sum constraint.
+
+    The projection is ``x_i = clip(v_i - τ, 0, cap)`` where τ solves
+    ``Σ clip(v_i - τ, 0, cap) = total``; the left side is continuous and
+    nonincreasing in τ, so bisection converges geometrically.
+    """
+    v = np.asarray(v, dtype=float)
+    k = v.size
+    if not (0.0 <= total <= cap * k + tol):
+        raise ValueError(
+            f"capped simplex empty: need 0 <= total={total} <= cap*K={cap * k}"
+        )
+    lo = float(np.min(v)) - cap - 1.0
+    hi = float(np.max(v)) + 1.0
+    for _ in range(max_iters):
+        tau = 0.5 * (lo + hi)
+        s = float(np.clip(v - tau, 0.0, cap).sum())
+        if abs(s - total) <= tol:
+            break
+        if s > total:
+            lo = tau
+        else:
+            hi = tau
+    return np.clip(v - 0.5 * (lo + hi), 0.0, cap)
+
+
+def project_box_halfspace(
+    v: np.ndarray,
+    lo: np.ndarray | float,
+    hi: np.ndarray | float,
+    a: np.ndarray,
+    b: float,
+    tol: float = 1e-12,
+    max_iters: int = 200,
+) -> np.ndarray:
+    """Project onto ``{lo <= x <= hi} ∩ {aᵀx <= b}`` with ``a >= 0``.
+
+    Exact via one-dimensional dual search: the KKT solution is
+    ``x(λ) = clip(v - λ a, lo, hi)`` with ``λ >= 0`` chosen so that either
+    λ = 0 is feasible or ``aᵀx(λ) = b``.  ``aᵀx(λ)`` is nonincreasing in λ
+    (a >= 0), so bisection applies.
+    """
+    a = np.asarray(a, dtype=float)
+    if np.any(a < 0):
+        raise ValueError("project_box_halfspace requires a >= 0")
+    x0 = project_box(v, lo, hi)
+    if float(a @ x0) <= b + tol:
+        return x0
+    lo_a = np.broadcast_to(np.asarray(lo, dtype=float), a.shape)
+    if float(a @ lo_a) > b + tol:
+        raise ValueError("intersection empty: even the box floor violates aᵀx <= b")
+    lam_lo, lam_hi = 0.0, 1.0
+    # Grow the bracket until feasible.
+    for _ in range(100):
+        if float(a @ project_box(v - lam_hi * a, lo, hi)) <= b:
+            break
+        lam_hi *= 2.0
+    for _ in range(max_iters):
+        lam = 0.5 * (lam_lo + lam_hi)
+        val = float(a @ project_box(v - lam * a, lo, hi))
+        if abs(val - b) <= tol:
+            break
+        if val > b:
+            lam_lo = lam
+        else:
+            lam_hi = lam
+    return project_box(v - 0.5 * (lam_lo + lam_hi) * a, lo, hi)
+
+
+def alternating_projections(
+    v: np.ndarray,
+    projections: Sequence[Callable[[np.ndarray], np.ndarray]],
+    tol: float = 1e-10,
+    max_iters: int = 500,
+) -> np.ndarray:
+    """Dykstra's algorithm for the projection onto an intersection of
+    convex sets, given the individual projections.
+
+    Unlike plain alternating projection (POCS), Dykstra converges to the
+    *nearest* point of the intersection, which is what the proximal step in
+    eq. (8) requires.  Falls back gracefully when a set is already
+    satisfied.
+    """
+    x = np.asarray(v, dtype=float).copy()
+    m = len(projections)
+    if m == 0:
+        return x
+    increments = [np.zeros_like(x) for _ in range(m)]
+    for _ in range(max_iters):
+        max_shift = 0.0
+        for i, proj in enumerate(projections):
+            y = x + increments[i]
+            x_new = proj(y)
+            increments[i] = y - x_new
+            max_shift = max(max_shift, float(np.max(np.abs(x_new - x))))
+            x = x_new
+        if max_shift <= tol:
+            break
+    return x

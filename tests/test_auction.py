@@ -1,0 +1,111 @@
+"""Property tests for the truthful procurement auction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.auction import AuctionResult, run_procurement_auction
+
+
+class TestMechanics:
+    def test_lowest_scores_win(self):
+        bids = np.array([1.0, 2.0, 3.0, 4.0])
+        quality = np.ones(4)
+        res = run_procurement_auction(bids, quality, n=2)
+        assert res.winners[[0, 1]].all()
+        assert not res.winners[[2, 3]].any()
+
+    def test_quality_weighting(self):
+        # Client 2 bids more but has 10x quality → best score.
+        bids = np.array([1.0, 1.0, 5.0])
+        quality = np.array([1.0, 1.0, 10.0])
+        res = run_procurement_auction(bids, quality, n=1)
+        assert res.winners[2]
+
+    def test_critical_payment_value(self):
+        bids = np.array([1.0, 2.0, 5.0])
+        quality = np.ones(3)
+        res = run_procurement_auction(bids, quality, n=2)
+        # Threshold score = 5 → both winners paid 5.
+        np.testing.assert_allclose(res.payments[[0, 1]], 5.0)
+        assert res.payments[2] == 0.0
+
+    def test_no_competition_pays_bid(self):
+        bids = np.array([3.0, 7.0])
+        res = run_procurement_auction(bids, np.ones(2), n=2)
+        np.testing.assert_allclose(res.payments, bids)
+
+    def test_budget_feasibility_flag(self):
+        bids = np.array([1.0, 2.0, 5.0])
+        res = run_procurement_auction(bids, np.ones(3), n=2, budget=5.0)
+        assert not res.feasible      # payments are 5+5 = 10 > 5
+        res2 = run_procurement_auction(bids, np.ones(3), n=2, budget=20.0)
+        assert res2.feasible
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_procurement_auction(np.array([0.0, 1.0]), np.ones(2), n=1)
+        with pytest.raises(ValueError):
+            run_procurement_auction(np.array([1.0]), -np.ones(1), n=1)
+        with pytest.raises(ValueError):
+            run_procurement_auction(np.ones(3), np.ones(3), n=4)
+        with pytest.raises(ValueError):
+            run_procurement_auction(np.ones(3), np.ones(2), n=1)
+
+
+class TestTruthfulness:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=80, deadline=None)
+    def test_individual_rationality(self, seed):
+        """Winners are never paid below their bid (so never below true
+        cost when bidding truthfully)."""
+        rng = np.random.default_rng(seed)
+        m = rng.integers(3, 10)
+        bids = rng.uniform(0.5, 5.0, m)
+        quality = rng.uniform(0.1, 3.0, m)
+        n = int(rng.integers(1, m))
+        res = run_procurement_auction(bids, quality, n)
+        assert np.all(res.payments[res.winners] >= bids[res.winners] - 1e-9)
+        assert np.all(res.payments[~res.winners] == 0.0)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=80, deadline=None)
+    def test_misreporting_never_helps(self, seed):
+        """Dominant-strategy truthfulness: for a random bidder and a
+        random misreport, utility(misreport) <= utility(truth), where
+        utility = payment − true_cost if winning else 0."""
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(3, 8))
+        true_costs = rng.uniform(0.5, 5.0, m)
+        quality = rng.uniform(0.1, 3.0, m)
+        n = int(rng.integers(1, m))
+        k = int(rng.integers(0, m))
+
+        def utility(report_k: float) -> float:
+            bids = true_costs.copy()
+            bids[k] = report_k
+            res = run_procurement_auction(bids, quality, n)
+            if not res.winners[k]:
+                return 0.0
+            return float(res.payments[k] - true_costs[k])
+
+        u_truth = utility(true_costs[k])
+        misreport = float(rng.uniform(0.1, 10.0))
+        assert utility(misreport) <= u_truth + 1e-9
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity(self, seed):
+        """Lowering your bid never turns a win into a loss."""
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(3, 8))
+        bids = rng.uniform(0.5, 5.0, m)
+        quality = rng.uniform(0.1, 3.0, m)
+        n = int(rng.integers(1, m))
+        res = run_procurement_auction(bids, quality, n)
+        k = int(np.flatnonzero(res.winners)[0])
+        lower = bids.copy()
+        lower[k] = bids[k] * 0.5
+        res2 = run_procurement_auction(lower, quality, n)
+        assert res2.winners[k]

@@ -1,0 +1,72 @@
+"""Additional CLI coverage: sweep, chart flag, and Fair-FedL/UCB runs."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSweepCommand:
+    def test_sweep_outputs_series(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--budgets", "60", "120",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "budget impact" in out
+        assert "FedL" in out
+
+
+class TestChartFlag:
+    def test_compare_with_chart(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--budget", "80",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "3",
+                "--target", "0.1",
+                "--chart",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The ASCII chart frame is present.
+        assert "+------" in out or "+-" in out
+        assert "*=FedL" in out
+
+
+class TestExtendedPolicyRuns:
+    @pytest.mark.parametrize("policy", ["Fair-FedL", "UCB", "Oracle"])
+    def test_run_extended_policies(self, capsys, policy):
+        rc = main(
+            [
+                "run",
+                "--policy", policy,
+                "--budget", "80",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "3",
+            ]
+        )
+        assert rc == 0
+        assert "final_accuracy=" in capsys.readouterr().out
+
+    def test_non_iid_flag(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--non-iid",
+                "--budget", "80",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "3",
+            ]
+        )
+        assert rc == 0

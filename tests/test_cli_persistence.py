@@ -1,0 +1,130 @@
+"""Tests for the CLI and trace persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.metrics import EpochRecord, Trace
+from repro.experiments.persistence import (
+    load_traces,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def make_trace(name="X", epochs=3):
+    tr = Trace(policy_name=name)
+    for i in range(epochs):
+        tr.append(
+            EpochRecord(
+                t=i,
+                test_accuracy=0.1 * (i + 1),
+                test_loss=2.0 - 0.1 * i,
+                population_loss=2.0 - 0.1 * i,
+                epoch_latency=0.5,
+                cumulative_time=0.5 * (i + 1),
+                cost_spent=10.0,
+                remaining_budget=100.0 - 10.0 * (i + 1),
+                num_selected=4,
+                num_available=9,
+                iterations=2,
+                rho=2.2,
+                eta_max=0.5,
+            )
+        )
+    return tr
+
+
+class TestPersistence:
+    def test_round_trip_dict(self):
+        tr = make_trace()
+        back = trace_from_dict(trace_to_dict(tr))
+        assert back.policy_name == tr.policy_name
+        np.testing.assert_array_equal(back.accuracy, tr.accuracy)
+        np.testing.assert_array_equal(back.times, tr.times)
+
+    def test_round_trip_file(self, tmp_path):
+        traces = {"A": make_trace("A"), "B": make_trace("B", epochs=5)}
+        path = save_traces(traces, tmp_path / "out.json")
+        loaded = load_traces(path)
+        assert set(loaded) == {"A", "B"}
+        assert len(loaded["B"]) == 5
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = save_traces({"A": make_trace()}, tmp_path / "x.json")
+        json.loads(path.read_text())  # must not raise
+
+    def test_schema_version_checked(self, tmp_path):
+        with pytest.raises(ValueError):
+            trace_from_dict({"schema": 99, "policy_name": "A", "records": []})
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "traces": {}}))
+        with pytest.raises(ValueError):
+            load_traces(path)
+
+
+class TestCliParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "FedL"
+        assert args.dataset == "fmnist"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "Magic"])
+
+    def test_sweep_budgets(self):
+        args = build_parser().parse_args(["sweep", "--budgets", "100", "200"])
+        assert args.budgets == [100.0, 200.0]
+
+
+class TestCliExecution:
+    def test_run_command(self, capsys, tmp_path):
+        rc = main(
+            [
+                "run",
+                "--policy", "FedAvg",
+                "--budget", "100",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "4",
+                "--save", str(tmp_path / "run.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final_accuracy=" in out
+        assert (tmp_path / "run.json").exists()
+        loaded = load_traces(tmp_path / "run.json")
+        assert "FedAvg" in loaded
+
+    def test_compare_command(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--budget", "100",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "3",
+                "--target", "0.1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FedL" in out and "FedAvg" in out
+        assert "completion-time saving" in out
+
+    def test_regret_command(self, capsys):
+        rc = main(["regret", "--horizons", "10", "15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Reg_d" in out
+        # two horizon rows printed
+        assert len([l for l in out.splitlines() if l.strip().startswith(("10", "15"))]) == 2

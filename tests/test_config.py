@@ -1,0 +1,147 @@
+"""Validation tests for the configuration dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DataConfig,
+    ExperimentConfig,
+    FedLConfig,
+    NetworkConfig,
+    PopulationConfig,
+    TrainingConfig,
+)
+
+
+class TestNetworkConfig:
+    def test_defaults_match_paper(self):
+        cfg = NetworkConfig()
+        assert cfg.bandwidth_hz == 20e6
+        assert cfg.noise_psd_dbm_hz == -174.0
+        assert cfg.cell_radius_m == 500.0
+        assert cfg.shadowing_std_db == 8.0
+        assert cfg.tx_power_dbm == 10.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("bandwidth_hz", 0.0),
+            ("cell_radius_m", -1.0),
+            ("upload_bits", 0.0),
+            ("min_distance_m", 0.0),
+            ("shadowing_corr", 1.0),
+            ("shadowing_corr", -0.1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(NetworkConfig(), **{field: value})
+
+
+class TestPopulationConfig:
+    def test_defaults_match_paper(self):
+        cfg = PopulationConfig()
+        assert cfg.num_clients == 100
+        assert cfg.cycles_per_bit_range == (10.0, 30.0)
+        assert cfg.cpu_freq_hz == 2e9
+        assert cfg.cost_range == (0.1, 12.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_clients", 0),
+            ("cycles_per_bit_range", (30.0, 10.0)),
+            ("cost_range", (0.0, 12.0)),
+            ("availability_prob", 0.0),
+            ("availability_prob", 1.5),
+            ("cpu_freq_jitter", 1.0),
+            ("cost_volatility", -0.1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PopulationConfig(), **{field: value})
+
+
+class TestDataConfig:
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            DataConfig(dataset="imagenet")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("non_iid_principal_frac", 1.5),
+            ("samples_per_client", 0),
+            ("num_classes", 1),
+            ("test_samples", 0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(DataConfig(), **{field: value})
+
+
+class TestTrainingConfig:
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(model="transformer")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("local_sgd_steps", 0),
+            ("sgd_lr", 0.0),
+            ("sigma1", -1.0),
+            ("theta0", 1.0),
+            ("theta", 0.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TrainingConfig(), **{field: value})
+
+
+class TestFedLConfig:
+    def test_rejects_bad_solver(self):
+        with pytest.raises(ValueError):
+            FedLConfig(solver="cvxpy")
+
+    def test_rejects_bad_rounding(self):
+        with pytest.raises(ValueError):
+            FedLConfig(rounding="floor")
+
+    def test_rho_max_at_least_one(self):
+        with pytest.raises(ValueError):
+            FedLConfig(rho_max=0.5)
+
+    def test_explicit_steps_validated(self):
+        with pytest.raises(ValueError):
+            FedLConfig(beta=-1.0)
+        with pytest.raises(ValueError):
+            FedLConfig(delta=0.0)
+        with pytest.raises(ValueError):
+            FedLConfig(step_scale=0.0)
+
+
+class TestExperimentConfig:
+    def test_default_is_valid(self):
+        ExperimentConfig()
+
+    def test_min_participants_vs_fleet(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                min_participants=10,
+                population=PopulationConfig(num_clients=5),
+            )
+
+    def test_replace_helper(self):
+        cfg = ExperimentConfig()
+        cfg2 = cfg.replace(budget=999.0)
+        assert cfg2.budget == 999.0
+        assert cfg.budget != 999.0  # original untouched (frozen)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(budget=0.0)

@@ -1,0 +1,248 @@
+"""Tests for the online learner (eqs. 8-9), horizon, and bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    constraint_variation,
+    mu_hat_bound,
+    path_length,
+    regret_bound,
+)
+from repro.core.horizon import corollary1_step_size, horizon_bounds
+from repro.core.online_learner import LearnerState, OnlineLearner
+from repro.core.phi import Phi
+from repro.core.problem import EpochInputs, FedLProblem
+from repro.core.regret import dynamic_fit, dynamic_regret, solve_per_slot_optimum
+
+
+def make_inputs(m=6, n=2, budget=20.0, seed=0, **overrides):
+    rng = np.random.default_rng(seed)
+    defaults = dict(
+        tau=rng.uniform(0.1, 2.0, m),
+        costs=rng.uniform(0.5, 5.0, m),
+        available=np.ones(m, bool),
+        eta_hat=rng.uniform(0.1, 0.9, m),
+        loss_gap=0.4,
+        loss_sensitivity=np.full(m, -0.15),  # h0 satisfiable: 0.4 − 0.15·Σx
+        remaining_budget=budget,
+        min_participants=n,
+    )
+    defaults.update(overrides)
+    return EpochInputs(**defaults)
+
+
+class TestHorizon:
+    def test_bounds_formula(self):
+        lo, hi = horizon_bounds(budget=100.0, min_participants=5, cost_min=0.5, cost_max=2.0)
+        assert lo == pytest.approx(100 / (5 * 2.0))
+        assert hi == pytest.approx(100 / (5 * 0.5))
+
+    def test_bounds_ordered(self):
+        lo, hi = horizon_bounds(50.0, 2, 0.1, 12.0)
+        assert lo <= hi
+
+    def test_step_size_decreases_with_budget(self):
+        s1 = corollary1_step_size(100.0, 5, 0.5, 2.0)
+        s2 = corollary1_step_size(10000.0, 5, 0.5, 2.0)
+        assert s2 < s1
+
+    def test_step_size_scaling_rate(self):
+        # β ∝ T^{-1/3}: budget ×1000 → T ×1000 → β ×10⁻¹.
+        s1 = corollary1_step_size(100.0, 5, 1.0, 1.0)
+        s2 = corollary1_step_size(100_000.0, 5, 1.0, 1.0)
+        assert s1 / s2 == pytest.approx(10.0, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            horizon_bounds(0.0, 5, 0.5, 2.0)
+        with pytest.raises(ValueError):
+            horizon_bounds(10.0, 0, 0.5, 2.0)
+        with pytest.raises(ValueError):
+            horizon_bounds(10.0, 1, 2.0, 0.5)
+        with pytest.raises(ValueError):
+            corollary1_step_size(10.0, 1, 0.5, 2.0, scale=0.0)
+
+
+class TestDualAscent:
+    def test_eq9_update(self):
+        learner = OnlineLearner(3, beta=0.5, delta=0.5)
+        h = np.array([1.0, -2.0, 0.5, 0.0])
+        mu = learner.dual_ascent(h)
+        np.testing.assert_allclose(mu, [0.5, 0.0, 0.25, 0.0])
+
+    def test_nonnegativity_preserved(self, rng):
+        learner = OnlineLearner(3, beta=0.5, delta=0.3)
+        for _ in range(50):
+            learner.dual_ascent(rng.normal(size=4))
+            assert np.all(learner.mu >= 0)
+
+    def test_shape_validation(self):
+        learner = OnlineLearner(3, beta=0.5, delta=0.5)
+        with pytest.raises(ValueError):
+            learner.dual_ascent(np.ones(3))
+
+    def test_initial_mu_zero(self):
+        learner = OnlineLearner(4, beta=0.1, delta=0.1)
+        np.testing.assert_array_equal(learner.mu, np.zeros(5))
+
+
+class TestDescentStep:
+    def test_stays_feasible(self):
+        inputs = make_inputs()
+        learner = OnlineLearner(6, beta=0.3, delta=0.3, rho_max=5.0)
+        phi = learner.descent_step(inputs)
+        assert np.all((phi.x >= -1e-8) & (phi.x <= 1 + 1e-8))
+        assert 1.0 <= phi.rho <= 5.0
+        assert float(inputs.costs @ phi.x) <= inputs.remaining_budget + 1e-6
+        assert phi.x.sum() >= inputs.min_participants - 1e-6
+
+    def test_moves_toward_fast_clients(self):
+        """With zero duals the step follows ∇f: slow clients shed mass."""
+        tau = np.array([0.1, 0.1, 5.0, 5.0, 5.0, 5.0])
+        inputs = make_inputs(tau=tau, n=2, budget=100.0)
+        learner = OnlineLearner(6, beta=0.5, delta=0.5)
+        for _ in range(30):
+            phi = learner.descent_step(inputs)
+        # Fast clients end with more mass than slow ones.
+        assert phi.x[:2].min() > phi.x[2:].max()
+
+    def test_mu_pressure_raises_rho(self):
+        """Positive duals on the η rows push ρ upward (compensating poor
+        local accuracy with more global iterations)."""
+        inputs = make_inputs(eta_hat=np.full(6, 0.85))
+        low = OnlineLearner(6, beta=0.3, delta=0.3, rho_max=8.0)
+        high = OnlineLearner(6, beta=0.3, delta=0.3, rho_max=8.0)
+        # Give `high` large duals on every η row.
+        high.state.mu = np.concatenate([[0.0], np.full(6, 5.0)])
+        phi_low = low.descent_step(inputs)
+        phi_high = high.descent_step(inputs)
+        assert phi_high.rho > phi_low.rho
+
+    def test_prox_term_limits_movement(self):
+        inputs = make_inputs()
+        tiny = OnlineLearner(6, beta=1e-4, delta=0.3)
+        phi0 = tiny.phi
+        phi1 = tiny.descent_step(inputs)
+        assert phi0.distance(phi1) < 0.05
+
+    def test_pg_and_ip_solvers_agree(self):
+        inputs = make_inputs(seed=3)
+        pg = OnlineLearner(6, beta=0.3, delta=0.3, solver="projected_gradient")
+        ip = OnlineLearner(6, beta=0.3, delta=0.3, solver="interior_point")
+        pg.state.mu = np.abs(np.random.default_rng(0).normal(size=7))
+        ip.state.mu = pg.state.mu.copy()
+        phi_pg = pg.descent_step(inputs)
+        phi_ip = ip.descent_step(inputs)
+        assert phi_pg.distance(phi_ip) < 0.05
+
+    def test_dimension_change_rejected(self):
+        learner = OnlineLearner(4, beta=0.3, delta=0.3)
+        with pytest.raises(ValueError):
+            learner.descent_step(make_inputs(m=6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineLearner(3, beta=0.0, delta=0.1)
+        with pytest.raises(ValueError):
+            OnlineLearner(3, beta=0.1, delta=0.1, solver="sgd")
+        with pytest.raises(ValueError):
+            OnlineLearner(3, beta=0.1, delta=0.1, x_init=2.0)
+        learner = OnlineLearner(3, beta=0.1, delta=0.1)
+        with pytest.raises(ValueError):
+            LearnerState(phi=Phi(x=np.zeros(3), rho=1.0), mu=-np.ones(4))
+        with pytest.raises(ValueError):
+            learner.reset_phi(Phi(x=np.zeros(5), rho=1.0))
+
+
+class TestRegretMachinery:
+    def test_per_slot_optimum_feasible_and_cheap(self):
+        prob = FedLProblem(make_inputs(budget=100.0))
+        star = solve_per_slot_optimum(prob)
+        # quadratic-penalty solves carry an O(1/pen) feasibility residual
+        assert np.max(np.maximum(prob.h(star), 0.0)) < 2e-3
+        # Optimum must not beat the trivial lower bound f >= 0.
+        assert prob.f(star) >= 0.0
+
+    def test_optimum_no_worse_than_feasible_points(self):
+        prob = FedLProblem(make_inputs(budget=100.0, seed=5))
+        star = solve_per_slot_optimum(prob)
+        # Compare against a grid of feasible candidates.
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            v = prob.project(
+                np.concatenate([rng.uniform(0, 1, 6), [rng.uniform(1, 8)]])
+            )
+            cand = Phi.from_vector(v)
+            if np.max(np.maximum(prob.h(cand), 0.0)) < 1e-6:
+                assert prob.f(star) <= prob.f(cand) + 1e-3
+
+    def test_dynamic_regret_zero_for_optimal_play(self):
+        probs = [FedLProblem(make_inputs(seed=s)) for s in range(3)]
+        opts = [solve_per_slot_optimum(p) for p in probs]
+        reg, _ = dynamic_regret(probs, opts, optima=opts)
+        assert reg == pytest.approx(0.0, abs=1e-9)
+
+    def test_dynamic_fit_zero_when_feasible(self):
+        probs = [FedLProblem(make_inputs(seed=s)) for s in range(3)]
+        opts = [solve_per_slot_optimum(p) for p in probs]
+        assert dynamic_fit(probs, opts) < 5e-3  # O(1/pen) residual per slot
+
+    def test_dynamic_fit_positive_when_violating(self):
+        prob = FedLProblem(make_inputs(loss_gap=5.0, loss_sensitivity=np.zeros(6)))
+        # h0 = 5 > 0 regardless of x: any decision violates.
+        phi = Phi(x=np.full(6, 0.5), rho=1.0)
+        assert dynamic_fit([prob], [phi]) >= 5.0
+
+    def test_length_mismatch(self):
+        probs = [FedLProblem(make_inputs())]
+        with pytest.raises(ValueError):
+            dynamic_regret(probs, [])
+        with pytest.raises(ValueError):
+            dynamic_fit(probs, [])
+
+
+class TestBounds:
+    def test_mu_hat_requires_assumption2(self):
+        with pytest.raises(ValueError):
+            mu_hat_bound(0.1, 0.1, 1.0, 1.0, 1.0, xi=0.5, v_hat_h=0.5)
+
+    def test_mu_hat_positive(self):
+        v = mu_hat_bound(0.1, 0.1, 1.0, 1.0, 1.0, xi=1.0, v_hat_h=0.2)
+        assert v > 0
+
+    def test_regret_bound_grows_linearly_at_fixed_steps(self):
+        kw = dict(beta=0.1, delta=0.1, g_f=1.0, g_h=1.0, radius=1.0,
+                  mu_hat=2.0, v_phi_star=1.0, v_h=1.0)
+        r1 = regret_bound(t_c=100, **kw)
+        r2 = regret_bound(t_c=200, **kw)
+        assert r2 > r1
+
+    def test_regret_bound_sublinear_with_corollary_steps(self):
+        """With β = δ = T^{-1/3} and bounded variations, R_T = O(T^{2/3})."""
+        def bound(t):
+            step = t ** (-1 / 3)
+            return regret_bound(
+                t_c=t, beta=step, delta=step, g_f=1.0, g_h=1.0, radius=1.0,
+                mu_hat=2.0, v_phi_star=1.0, v_h=1.0,
+            )
+        # ratio of bounds at 8T vs T should approach 8^{2/3} = 4.
+        ratio = bound(80_000) / bound(10_000)
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_path_length(self):
+        a = Phi(x=np.array([0.0]), rho=1.0)
+        b = Phi(x=np.array([1.0]), rho=1.0)
+        assert path_length([a, b, a]) == pytest.approx(2.0)
+        assert path_length([a]) == 0.0
+
+    def test_constraint_variation_zero_for_identical_problems(self, rng):
+        probs = [FedLProblem(make_inputs(seed=0)) for _ in range(3)]
+        assert constraint_variation(probs, rng) == pytest.approx(0.0, abs=1e-9)
+
+    def test_constraint_variation_positive_for_changing(self, rng):
+        probs = [
+            FedLProblem(make_inputs(seed=0, loss_gap=0.0)),
+            FedLProblem(make_inputs(seed=0, loss_gap=2.0)),
+        ]
+        assert constraint_variation(probs, rng) > 1.0

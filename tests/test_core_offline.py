@@ -1,0 +1,135 @@
+"""Tests for the offline-optimum DP, cross-checked against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.offline import EpochOption, epoch_frontier, offline_optimum
+
+
+def brute_force(tau_seq, cost_seq, avail_seq, budget, n, iterations=1.0):
+    """Exhaustive offline optimum on tiny instances.
+
+    Lexicographic objective matching the DP: maximize epochs run, then
+    minimize total latency, subject to total cost <= budget.
+    """
+    horizon = len(tau_seq)
+    m = tau_seq[0].size
+    per_epoch_subsets = []
+    for t in range(horizon):
+        avail = np.flatnonzero(avail_seq[t])
+        subsets = [None]  # skip option
+        for combo in itertools.combinations(avail.tolist(), n):
+            subsets.append(tuple(combo))
+        per_epoch_subsets.append(subsets)
+    best = (-1, float("inf"))  # (epochs run, latency) lexicographic
+    for assignment in itertools.product(*per_epoch_subsets):
+        cost = 0.0
+        latency = 0.0
+        run = 0
+        for t, subset in enumerate(assignment):
+            if subset is None:
+                continue
+            run += 1
+            cost += cost_seq[t][list(subset)].sum()
+            latency += iterations * tau_seq[t][list(subset)].max()
+        if cost <= budget + 1e-9:
+            if run > best[0] or (run == best[0] and latency < best[1]):
+                best = (run, latency)
+    return best
+
+
+class TestEpochFrontier:
+    def test_frontier_is_pareto(self, rng):
+        tau = rng.uniform(0.1, 2.0, 8)
+        costs = rng.uniform(0.5, 5.0, 8)
+        opts = epoch_frontier(tau, costs, np.ones(8, bool), n=3)
+        assert opts, "nonempty frontier expected"
+        for a, b in zip(opts[:-1], opts[1:]):
+            assert b.cost < a.cost       # strictly cheaper...
+            assert b.latency >= a.latency  # ...at equal or worse latency
+
+    def test_every_option_has_n_clients(self, rng):
+        tau = rng.uniform(0.1, 2.0, 6)
+        costs = rng.uniform(0.5, 5.0, 6)
+        for opt in epoch_frontier(tau, costs, np.ones(6, bool), n=2):
+            assert opt.mask.sum() == 2
+
+    def test_latency_matches_mask(self, rng):
+        tau = rng.uniform(0.1, 2.0, 6)
+        costs = rng.uniform(0.5, 5.0, 6)
+        for opt in epoch_frontier(tau, costs, np.ones(6, bool), n=2, iterations=3.0):
+            assert opt.latency == pytest.approx(3.0 * tau[opt.mask].max())
+
+    def test_too_few_available_empty(self, rng):
+        opts = epoch_frontier(
+            np.ones(4), np.ones(4), np.array([True, False, False, False]), n=2
+        )
+        assert opts == []
+
+    def test_first_option_is_fastest(self, rng):
+        tau = np.array([0.5, 0.1, 0.9, 0.2])
+        costs = np.ones(4)
+        opts = epoch_frontier(tau, costs, np.ones(4, bool), n=2)
+        assert opts[0].latency == pytest.approx(0.2)  # two fastest
+
+
+class TestOfflineOptimum:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_tiny_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        horizon, m, n = 3, 4, 2
+        tau_seq = [rng.uniform(0.1, 2.0, m) for _ in range(horizon)]
+        cost_seq = [rng.uniform(0.5, 3.0, m) for _ in range(horizon)]
+        avail_seq = [np.ones(m, bool) for _ in range(horizon)]
+        budget = 8.0
+        bf_runs, bf_lat = brute_force(tau_seq, cost_seq, avail_seq, budget, n)
+        total, masks = offline_optimum(
+            tau_seq, cost_seq, avail_seq, budget, n, grid_points=4000
+        )
+        dp_runs = sum(1 for mask in masks if mask.any())
+        assert dp_runs == bf_runs
+        assert total == pytest.approx(bf_lat, rel=1e-6, abs=1e-9)
+
+    def test_masks_respect_budget(self, rng):
+        horizon, m, n = 5, 6, 2
+        tau_seq = [rng.uniform(0.1, 2.0, m) for _ in range(horizon)]
+        cost_seq = [rng.uniform(0.5, 3.0, m) for _ in range(horizon)]
+        avail_seq = [np.ones(m, bool) for _ in range(horizon)]
+        budget = 10.0
+        _, masks = offline_optimum(tau_seq, cost_seq, avail_seq, budget, n)
+        spend = sum(
+            cost_seq[t][mask].sum() for t, mask in enumerate(masks) if mask.any()
+        )
+        assert spend <= budget + 1e-9
+
+    def test_big_budget_runs_every_epoch(self, rng):
+        horizon, m, n = 4, 5, 2
+        tau_seq = [rng.uniform(0.1, 2.0, m) for _ in range(horizon)]
+        cost_seq = [rng.uniform(0.5, 3.0, m) for _ in range(horizon)]
+        avail_seq = [np.ones(m, bool) for _ in range(horizon)]
+        total, masks = offline_optimum(tau_seq, cost_seq, avail_seq, 1e6, n)
+        assert all(mask.sum() == n for mask in masks)
+        # With unlimited budget the optimum picks the n fastest each epoch.
+        expected = sum(np.sort(t)[n - 1] for t in tau_seq)
+        assert total == pytest.approx(expected)
+
+    def test_tight_budget_skips_epochs(self, rng):
+        horizon, m, n = 4, 4, 2
+        tau_seq = [rng.uniform(0.1, 2.0, m) for _ in range(horizon)]
+        cost_seq = [np.full(m, 3.0) for _ in range(horizon)]
+        avail_seq = [np.ones(m, bool) for _ in range(horizon)]
+        # Each epoch costs exactly 6; budget 13 affords two epochs.
+        total, masks = offline_optimum(tau_seq, cost_seq, avail_seq, 13.0, n)
+        assert sum(1 for mask in masks if mask.any()) == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            offline_optimum([np.ones(3)], [], [], 10.0, 1)
+        with pytest.raises(ValueError):
+            offline_optimum([np.ones(3)], [np.ones(3)], [np.ones(3, bool)], 0.0, 1)
+        with pytest.raises(ValueError):
+            offline_optimum(
+                [np.ones(3)], [np.ones(3)], [np.ones(3, bool)], 10.0, 1, grid_points=1
+            )

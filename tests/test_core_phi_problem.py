@@ -1,0 +1,230 @@
+"""Tests for the decision vector Φ and the reformulated problem pieces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.phi import Phi
+from repro.core.problem import EpochInputs, FedLProblem
+
+
+def make_inputs(m=6, n=2, budget=20.0, seed=0, **overrides):
+    rng = np.random.default_rng(seed)
+    defaults = dict(
+        tau=rng.uniform(0.1, 2.0, m),
+        costs=rng.uniform(0.5, 5.0, m),
+        available=np.ones(m, bool),
+        eta_hat=rng.uniform(0.1, 0.9, m),
+        loss_gap=0.4,
+        loss_sensitivity=np.full(m, -0.02),
+        remaining_budget=budget,
+        min_participants=n,
+    )
+    defaults.update(overrides)
+    return EpochInputs(**defaults)
+
+
+class TestPhi:
+    def test_vector_round_trip(self):
+        phi = Phi(x=np.array([0.2, 0.8]), rho=3.0)
+        back = Phi.from_vector(phi.to_vector())
+        np.testing.assert_array_equal(back.x, phi.x)
+        assert back.rho == phi.rho
+
+    def test_eta_relation(self):
+        assert Phi(x=np.zeros(1), rho=2.0).eta == pytest.approx(0.5)
+        assert Phi(x=np.zeros(1), rho=1.0).eta == 0.0
+
+    def test_iterations_ceil(self):
+        assert Phi(x=np.zeros(1), rho=1.0).iterations == 1
+        assert Phi(x=np.zeros(1), rho=2.3).iterations == 3
+        assert Phi(x=np.zeros(1), rho=3.0).iterations == 3
+
+    def test_clip(self):
+        phi = Phi(x=np.array([1.5, -0.5]), rho=100.0)
+        c = phi.clip(rho_max=8.0)
+        np.testing.assert_array_equal(c.x, [1.0, 0.0])
+        assert c.rho == 8.0
+
+    def test_distance(self):
+        a = Phi(x=np.array([0.0]), rho=1.0)
+        b = Phi(x=np.array([1.0]), rho=1.0)
+        assert a.distance(b) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phi(x=np.zeros((2, 2)), rho=1.0)
+        with pytest.raises(ValueError):
+            Phi(x=np.zeros(2), rho=0.5)
+        with pytest.raises(ValueError):
+            Phi.from_vector(np.array([1.0]))
+        a = Phi(x=np.zeros(2), rho=1.0)
+        with pytest.raises(ValueError):
+            a.distance(Phi(x=np.zeros(3), rho=1.0))
+
+
+class TestEpochInputs:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            make_inputs(costs=np.ones(3))
+
+    def test_validation_eta_range(self):
+        with pytest.raises(ValueError):
+            make_inputs(eta_hat=np.full(6, 1.0))
+
+    def test_validation_participants(self):
+        with pytest.raises(ValueError):
+            make_inputs(available=np.array([True] + [False] * 5), min_participants=2)
+
+    def test_validation_negative_tau(self):
+        with pytest.raises(ValueError):
+            make_inputs(tau=np.full(6, -1.0))
+
+
+class TestObjective:
+    def test_f_value(self):
+        inp = make_inputs(m=2, n=1, tau=np.array([1.0, 2.0]))
+        prob = FedLProblem(inp)
+        phi = Phi(x=np.array([1.0, 0.5]), rho=2.0)
+        # f = ρ (x·τ) = 2 (1 + 1) = 4
+        assert prob.f(phi) == pytest.approx(4.0)
+
+    def test_unavailable_clients_contribute_zero(self):
+        inp = make_inputs(
+            m=2, n=1,
+            tau=np.array([1.0, 100.0]),
+            available=np.array([True, False]),
+        )
+        prob = FedLProblem(inp)
+        phi = Phi(x=np.array([1.0, 1.0]), rho=1.0)
+        assert prob.f(phi) == pytest.approx(1.0)
+
+    def test_grad_f_matches_fd(self):
+        inp = make_inputs()
+        prob = FedLProblem(inp)
+        phi = Phi(x=np.full(6, 0.4), rho=2.0)
+        g = prob.grad_f(phi)
+        v = phi.to_vector()
+        eps = 1e-6
+        for i in range(v.size):
+            vp = v.copy(); vp[i] += eps
+            vm = v.copy(); vm[i] -= eps
+            num = (prob.f(Phi.from_vector(vp)) - prob.f(Phi.from_vector(vm))) / (2 * eps)
+            assert g[i] == pytest.approx(num, abs=1e-6)
+
+
+class TestConstraintVector:
+    def test_h0_linearization(self):
+        inp = make_inputs(loss_gap=0.4, loss_sensitivity=np.full(6, -0.1))
+        prob = FedLProblem(inp)
+        phi = Phi(x=np.full(6, 0.5), rho=1.0)
+        h = prob.h(phi)
+        assert h[0] == pytest.approx(0.4 - 0.1 * 3.0)
+
+    def test_hk_theorem1_equivalence(self):
+        """h_k <= 0  ⇔  η̂_k x_k <= 1 − 1/ρ (constraint 3c)."""
+        inp = make_inputs(m=3, n=1, eta_hat=np.array([0.3, 0.6, 0.9]))
+        prob = FedLProblem(inp)
+        rho = 2.0  # η_t = 0.5
+        phi = Phi(x=np.array([1.0, 1.0, 1.0]), rho=rho)
+        h = prob.h(phi)[1:]
+        eta_t = 1 - 1 / rho
+        for k, eta_k in enumerate([0.3, 0.6, 0.9]):
+            if eta_k <= eta_t:
+                assert h[k] <= 1e-12
+            else:
+                assert h[k] > 0
+
+    def test_hk_zero_when_unselected(self):
+        """x_k = 0 ⇒ h_k = 1 − ρ <= 0 for any ρ >= 1 (3c inactive)."""
+        inp = make_inputs()
+        prob = FedLProblem(inp)
+        phi = Phi(x=np.zeros(6), rho=3.0)
+        assert np.all(prob.h(phi)[1:] <= 0)
+
+    def test_unavailable_rows_zero(self):
+        avail = np.array([True, True, True, True, False, False])
+        inp = make_inputs(available=avail)
+        prob = FedLProblem(inp)
+        phi = Phi(x=np.ones(6), rho=1.5)
+        h = prob.h(phi)[1:]
+        assert h[4] == 0.0 and h[5] == 0.0
+
+    def test_grad_mu_h_matches_fd(self):
+        inp = make_inputs()
+        prob = FedLProblem(inp)
+        mu = np.abs(np.random.default_rng(1).normal(size=7))
+        phi = Phi(x=np.full(6, 0.5), rho=2.0)
+        g = prob.grad_mu_h(phi, mu)
+        v = phi.to_vector()
+        eps = 1e-6
+        for i in range(v.size):
+            vp = v.copy(); vp[i] += eps
+            vm = v.copy(); vm[i] -= eps
+            num = (
+                mu @ prob.h(Phi.from_vector(vp)) - mu @ prob.h(Phi.from_vector(vm))
+            ) / (2 * eps)
+            assert g[i] == pytest.approx(num, abs=1e-6)
+
+    def test_hessian_matches_structure(self):
+        inp = make_inputs()
+        prob = FedLProblem(inp)
+        mu = np.ones(7)
+        H = prob.hess_mu_h(mu)
+        # Only x-ρ cross terms are nonzero.
+        assert np.allclose(H[:6, :6], 0.0)
+        assert H[6, 6] == 0.0
+        np.testing.assert_allclose(H[:6, 6], inp.eta_hat)
+        np.testing.assert_allclose(H, H.T)
+
+    def test_mu_shape_validation(self):
+        prob = FedLProblem(make_inputs())
+        with pytest.raises(ValueError):
+            prob.grad_mu_h(Phi(x=np.zeros(6), rho=1.0), np.ones(3))
+
+
+class TestFeasibleSet:
+    def test_project_into_box_and_constraints(self):
+        inp = make_inputs(budget=8.0)
+        prob = FedLProblem(inp)
+        v = np.concatenate([np.full(6, 2.0), [50.0]])
+        out = prob.project(v)
+        lo, hi = prob.box_bounds()
+        assert np.all(out >= lo - 1e-8)
+        assert np.all(out <= hi + 1e-8)
+        assert float(inp.costs @ out[:6]) <= inp.remaining_budget + 1e-6
+        assert out[:6].sum() >= inp.min_participants - 1e-6
+
+    def test_project_pins_unavailable(self):
+        avail = np.array([True] * 4 + [False] * 2)
+        inp = make_inputs(available=avail)
+        prob = FedLProblem(inp)
+        out = prob.project(np.concatenate([np.ones(6), [2.0]]))
+        assert out[4] == 0.0 and out[5] == 0.0
+
+    def test_constraint_matrix_consistency(self):
+        inp = make_inputs()
+        prob = FedLProblem(inp)
+        A, b = prob.constraint_matrix()
+        # A point returned by project() must satisfy Av <= b.
+        v = prob.project(np.concatenate([np.full(6, 0.5), [2.0]]))
+        assert np.all(A @ v <= b + 1e-6)
+
+    def test_interior_point_strictly_feasible(self):
+        inp = make_inputs(budget=15.0)
+        prob = FedLProblem(inp)
+        v = prob.interior_point()
+        assert v is not None
+        A, b = prob.constraint_matrix()
+        assert np.all(A @ v < b)
+
+    def test_interior_point_none_when_tight(self):
+        # Budget below the cheapest n-subset: no strictly feasible point.
+        inp = make_inputs(costs=np.full(6, 5.0), budget=9.9, min_participants=2)
+        prob = FedLProblem(inp)
+        assert prob.interior_point() is None
+
+    def test_rho_max_validation(self):
+        with pytest.raises(ValueError):
+            FedLProblem(make_inputs(), rho_max=0.5)

@@ -1,0 +1,103 @@
+"""Property-based tests for RDCS (paper Alg. 2 / Theorem 3 guarantees)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.rounding import independent_round, rdcs_round
+
+fractions = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=15),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestRdcsInvariants:
+    @given(fractions, st.integers(0, 2**32 - 1))
+    @settings(max_examples=200)
+    def test_output_is_binary(self, x, seed):
+        out = rdcs_round(x, np.random.default_rng(seed))
+        assert np.all((out == 0.0) | (out == 1.0))
+
+    @given(fractions, st.integers(0, 2**32 - 1))
+    @settings(max_examples=200)
+    def test_sum_in_floor_ceil(self, x, seed):
+        out = rdcs_round(x, np.random.default_rng(seed))
+        total = x.sum()
+        assert np.floor(total) - 1e-9 <= out.sum() <= np.ceil(total) + 1e-9
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_integer_sum_preserved_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        # Construct fractions with an exactly integral sum.
+        x = rng.uniform(0.05, 0.95, size=6)
+        x = x / x.sum() * 3.0
+        x = np.clip(x, 0.0, 1.0)
+        if not np.isclose(x.sum(), 3.0):
+            return  # clipping broke the construction; skip this draw
+        out = rdcs_round(x, rng)
+        assert out.sum() == pytest.approx(3.0)
+
+    def test_integral_input_unchanged(self, rng):
+        x = np.array([0.0, 1.0, 1.0, 0.0])
+        np.testing.assert_array_equal(rdcs_round(x, rng), x)
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            rdcs_round(np.array([1.5]), rng)
+        with pytest.raises(ValueError):
+            rdcs_round(np.array([[0.5]]), rng)
+
+    def test_theorem3_marginals(self):
+        """E[x_k] = x̃_k — the headline RDCS guarantee (Theorem 3)."""
+        x = np.array([0.15, 0.5, 0.85, 0.3, 0.7])
+        trials = 20_000
+        rng = np.random.default_rng(7)
+        acc = np.zeros_like(x)
+        for _ in range(trials):
+            acc += rdcs_round(x, rng)
+        emp = acc / trials
+        # 3.5-sigma confidence band for each Bernoulli marginal.
+        sigma = np.sqrt(x * (1 - x) / trials)
+        assert np.all(np.abs(emp - x) < 3.5 * sigma + 1e-3)
+
+    def test_sum_constant_through_pairings(self):
+        """For non-integral totals, realized sum ∈ {floor, ceil} with the
+        right probability (mean of sums = fractional total)."""
+        x = np.array([0.3, 0.3, 0.3])  # total 0.9
+        rng = np.random.default_rng(3)
+        sums = [rdcs_round(x, rng).sum() for _ in range(5000)]
+        assert set(np.unique(sums)).issubset({0.0, 1.0})
+        assert np.mean(sums) == pytest.approx(0.9, abs=0.03)
+
+
+class TestIndependentRound:
+    @given(fractions, st.integers(0, 2**32 - 1))
+    @settings(max_examples=100)
+    def test_output_is_binary(self, x, seed):
+        out = independent_round(x, np.random.default_rng(seed))
+        assert np.all((out == 0.0) | (out == 1.0))
+
+    def test_marginals(self):
+        x = np.array([0.2, 0.8])
+        rng = np.random.default_rng(11)
+        acc = sum(independent_round(x, rng) for _ in range(20_000))
+        np.testing.assert_allclose(acc / 20_000, x, atol=0.02)
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            independent_round(np.array([-0.5]), rng)
+
+    def test_sum_variance_larger_than_rdcs(self):
+        """The motivating property: RDCS concentrates the selection count,
+        independent rounding does not."""
+        x = np.full(10, 0.5)
+        rng = np.random.default_rng(21)
+        rd = np.array([rdcs_round(x, rng).sum() for _ in range(2000)])
+        ind = np.array([independent_round(x, rng).sum() for _ in range(2000)])
+        assert rd.std() < 0.1          # sum exactly 5 every time
+        assert ind.std() > 1.0         # binomial(10, .5) spread

@@ -1,0 +1,188 @@
+"""Tests for the synthetic datasets, partitioners, and streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.cifar10 import CIFAR10_SHAPE, synthetic_cifar10
+from repro.datasets.fmnist import FMNIST_SHAPE, synthetic_fmnist
+from repro.datasets.partition import (
+    dirichlet_class_distributions,
+    iid_class_distributions,
+    non_iid_class_distributions,
+)
+from repro.datasets.streams import ClientDataStream, build_client_streams
+from repro.datasets.synthetic import ClassConditionalGenerator, Dataset
+from repro.rng import RngFactory
+
+
+class TestDataset:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((3, 4)), y=np.zeros(2))
+
+    def test_subset_and_concat(self):
+        ds = Dataset(x=np.arange(12.0).reshape(4, 3), y=np.arange(4))
+        sub = ds.subset(np.array([0, 2]))
+        assert len(sub) == 2
+        both = sub.concat(sub)
+        assert len(both) == 4
+
+    def test_concat_dim_mismatch(self):
+        a = Dataset(x=np.zeros((2, 3)), y=np.zeros(2, dtype=int))
+        b = Dataset(x=np.zeros((2, 4)), y=np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+
+class TestGenerator:
+    def test_sample_shapes(self, rng):
+        gen = ClassConditionalGenerator((8, 8, 1), 10, rng)
+        ds = gen.sample(32)
+        assert ds.x.shape == (32, 64)
+        assert ds.y.shape == (32,)
+        assert set(np.unique(ds.y)).issubset(range(10))
+
+    def test_pixels_in_unit_interval(self, rng):
+        gen = ClassConditionalGenerator((8, 8, 3), 4, rng, noise=2.0)
+        ds = gen.sample(50)
+        assert np.all((ds.x >= 0.0) & (ds.x <= 1.0))
+
+    def test_class_probs_respected(self, rng):
+        gen = ClassConditionalGenerator((6, 6, 1), 3, rng)
+        probs = np.array([1.0, 0.0, 0.0])
+        ds = gen.sample(40, class_probs=probs)
+        assert np.all(ds.y == 0)
+
+    def test_zero_noise_separable(self, rng):
+        """With no noise, nearest-prototype classification is perfect."""
+        gen = ClassConditionalGenerator((10, 10, 1), 5, rng, noise=0.0)
+        ds = gen.sample(100)
+        protos = gen.prototypes.reshape(5, -1)
+        pred = np.argmin(
+            ((ds.x[:, None, :] - protos[None]) ** 2).sum(-1), axis=1
+        )
+        # Intensity jitter shifts samples but prototypes stay nearest.
+        assert (pred == ds.y).mean() > 0.9
+
+    def test_test_set_balanced(self, rng):
+        gen = ClassConditionalGenerator((6, 6, 1), 5, rng)
+        ts = gen.test_set(100)
+        counts = np.bincount(ts.y, minlength=5)
+        assert np.all(counts == counts[0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ClassConditionalGenerator((1, 8, 1), 10, rng)
+        with pytest.raises(ValueError):
+            ClassConditionalGenerator((8, 8, 1), 1, rng)
+        with pytest.raises(ValueError):
+            ClassConditionalGenerator((8, 8, 1), 10, rng, noise=-1.0)
+        gen = ClassConditionalGenerator((8, 8, 1), 3, rng)
+        with pytest.raises(ValueError):
+            gen.sample(0)
+        with pytest.raises(ValueError):
+            gen.sample(5, class_probs=np.array([1.0, 0.0]))  # wrong length
+        with pytest.raises(ValueError):
+            gen.sample(5, class_probs=np.array([-1.0, 1.0, 1.0]))
+
+
+class TestNamedDatasets:
+    def test_fmnist_geometry(self, rng):
+        gen = synthetic_fmnist(rng)
+        assert gen.image_shape == FMNIST_SHAPE
+        assert gen.num_features == 784
+
+    def test_cifar_geometry(self, rng):
+        gen = synthetic_cifar10(rng)
+        assert gen.image_shape == CIFAR10_SHAPE
+        assert gen.num_features == 3072
+
+    def test_downscale(self, rng):
+        gen = synthetic_fmnist(rng, downscale=2)
+        assert gen.image_shape == (14, 14, 1)
+
+    def test_bad_downscale(self, rng):
+        with pytest.raises(ValueError):
+            synthetic_fmnist(rng, downscale=3)
+        with pytest.raises(ValueError):
+            synthetic_cifar10(rng, downscale=3)
+
+    def test_determinism(self):
+        a = synthetic_fmnist(np.random.default_rng(5)).sample(
+            10, rng=np.random.default_rng(9)
+        )
+        b = synthetic_fmnist(np.random.default_rng(5)).sample(
+            10, rng=np.random.default_rng(9)
+        )
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+class TestPartitions:
+    def test_iid_uniform(self):
+        d = iid_class_distributions(4, 10)
+        np.testing.assert_allclose(d, 0.1)
+
+    def test_non_iid_principal_mass(self, rng):
+        d = non_iid_class_distributions(8, 10, rng, principal_frac=0.8, principal_classes=2)
+        assert d.shape == (8, 10)
+        np.testing.assert_allclose(d.sum(axis=1), 1.0)
+        # Top-2 classes of each client hold 80%.
+        top2 = np.sort(d, axis=1)[:, -2:].sum(axis=1)
+        np.testing.assert_allclose(top2, 0.8)
+
+    def test_non_iid_extreme(self, rng):
+        d = non_iid_class_distributions(4, 10, rng, principal_frac=1.0, principal_classes=1)
+        assert np.all(np.sort(d, axis=1)[:, -1] == 1.0)
+
+    def test_dirichlet_rows_are_distributions(self, rng):
+        d = dirichlet_class_distributions(6, 10, rng, alpha=0.3)
+        np.testing.assert_allclose(d.sum(axis=1), 1.0)
+        assert np.all(d >= 0)
+
+    def test_dirichlet_large_alpha_near_uniform(self, rng):
+        d = dirichlet_class_distributions(50, 10, rng, alpha=1000.0)
+        np.testing.assert_allclose(d, 0.1, atol=0.02)
+
+    @pytest.mark.parametrize("fn", [iid_class_distributions])
+    def test_validation_iid(self, fn):
+        with pytest.raises(ValueError):
+            fn(0, 10)
+        with pytest.raises(ValueError):
+            fn(5, 1)
+
+    def test_validation_non_iid(self, rng):
+        with pytest.raises(ValueError):
+            non_iid_class_distributions(5, 10, rng, principal_frac=1.5)
+        with pytest.raises(ValueError):
+            non_iid_class_distributions(5, 10, rng, principal_classes=10)
+
+    def test_validation_dirichlet(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_class_distributions(5, 10, rng, alpha=0.0)
+
+
+class TestStreams:
+    def test_draw_respects_distribution(self, rng_factory):
+        gen = ClassConditionalGenerator((6, 6, 1), 4, rng_factory.get("g"))
+        probs = np.array([0.0, 1.0, 0.0, 0.0])
+        stream = ClientDataStream(gen, probs, rng_factory.get("s"))
+        ds = stream.draw(30)
+        assert np.all(ds.y == 1)
+
+    def test_build_streams_independent(self, rng_factory):
+        gen = ClassConditionalGenerator((6, 6, 1), 4, rng_factory.get("g"))
+        dists = iid_class_distributions(3, 4)
+        streams = build_client_streams(gen, dists, rng_factory)
+        a = streams[0].draw(10)
+        b = streams[1].draw(10)
+        assert not np.allclose(a.x, b.x)
+
+    def test_stream_validation(self, rng_factory):
+        gen = ClassConditionalGenerator((6, 6, 1), 4, rng_factory.get("g"))
+        with pytest.raises(ValueError):
+            ClientDataStream(gen, np.array([1.0, 0.0]), rng_factory.get("s"))
+        with pytest.raises(ValueError):
+            build_client_streams(gen, np.ones((3, 7)), rng_factory)

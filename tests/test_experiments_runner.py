@@ -1,0 +1,134 @@
+"""Integration tests: the full online FL loop for every policy."""
+
+import numpy as np
+import pytest
+
+from repro.config import DataConfig, PopulationConfig
+from repro.experiments.runner import ExperimentResult, Simulation, run_experiment
+from repro.experiments.scenarios import POLICY_NAMES, experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        budget=120.0, num_clients=10, min_participants=3, max_epochs=12
+    )
+    defaults.update(kwargs)
+    return experiment_config(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fedavg_result():
+    cfg = small_config()
+    pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+    return run_experiment(pol, cfg)
+
+
+class TestSimulationSetup:
+    def test_builds_all_substrates(self):
+        sim = Simulation(small_config())
+        assert sim.population.num_clients == 10
+        assert len(sim.clients) == 10
+        assert len(sim.streams) == 10
+        assert sim.test_set.x.shape[0] >= 100
+
+    def test_cifar_configuration(self):
+        sim = Simulation(small_config(dataset="cifar10"))
+        assert sim.generator.num_features == 16 * 16 * 3
+
+    def test_non_iid_partition(self):
+        sim = Simulation(small_config(iid=False))
+        dists = np.stack([s.class_probs for s in sim.streams])
+        # Non-IID: rows are skewed, not uniform.
+        assert dists.max() > 0.2
+
+    def test_realized_tau_positive_finite(self):
+        sim = Simulation(small_config())
+        tau = sim.realized_tau(
+            np.full(10, 30), sim.channel.mean_state(), num_sharing=3
+        )
+        assert tau.shape == (10,)
+        assert np.all(tau > 0)
+        assert np.all(np.isfinite(tau))
+
+    def test_more_sharing_slower(self):
+        sim = Simulation(small_config())
+        st = sim.channel.mean_state()
+        counts = np.full(10, 30)
+        t1 = sim.realized_tau(counts, st, num_sharing=1)
+        t5 = sim.realized_tau(counts, st, num_sharing=5)
+        assert np.all(t5 >= t1)
+
+
+class TestRunExperiment:
+    def test_budget_never_overspent(self, fedavg_result):
+        tr = fedavg_result.trace
+        assert tr.total_spend <= 120.0 + 1e-6
+        assert np.all(tr.column("remaining_budget") >= -1e-6)
+
+    def test_min_participants_respected(self, fedavg_result):
+        assert np.all(fedavg_result.trace.column("num_selected") >= 3)
+
+    def test_cumulative_time_monotone(self, fedavg_result):
+        t = fedavg_result.trace.times
+        assert np.all(np.diff(t) > 0)
+
+    def test_stop_reason_valid(self, fedavg_result):
+        assert fedavg_result.stop_reason in (
+            "budget_exhausted", "max_epochs", "target_accuracy", "no_selection"
+        )
+
+    def test_deterministic_given_seed(self):
+        cfg = small_config()
+        r1 = run_experiment(make_policy("FedAvg", cfg, RngFactory(0).get("p")), cfg)
+        r2 = run_experiment(make_policy("FedAvg", cfg, RngFactory(0).get("p")), cfg)
+        np.testing.assert_array_equal(r1.trace.accuracy, r2.trace.accuracy)
+        np.testing.assert_array_equal(r1.trace.times, r2.trace.times)
+
+    def test_different_seeds_differ(self):
+        cfg1, cfg2 = small_config(seed=1), small_config(seed=2)
+        r1 = run_experiment(make_policy("FedAvg", cfg1, RngFactory(1).get("p")), cfg1)
+        r2 = run_experiment(make_policy("FedAvg", cfg2, RngFactory(2).get("p")), cfg2)
+        assert not np.array_equal(r1.trace.accuracy, r2.trace.accuracy)
+
+    def test_target_accuracy_stops_early(self):
+        cfg = small_config(max_epochs=100, budget=1e5)
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg, target_accuracy=0.3)
+        assert res.stop_reason == "target_accuracy"
+        assert res.trace.final_accuracy >= 0.3
+
+    def test_learning_happens(self, fedavg_result):
+        tr = fedavg_result.trace
+        assert tr.final_accuracy > tr.accuracy[0]
+
+    @pytest.mark.parametrize("name", POLICY_NAMES + ("Oracle",))
+    def test_every_policy_completes(self, name):
+        cfg = small_config(max_epochs=6)
+        pol = make_policy(name, cfg, RngFactory(3).get(f"p.{name}"))
+        res = run_experiment(pol, cfg)
+        assert len(res.trace) >= 1
+        assert res.trace.policy_name == name
+        assert np.isfinite(res.trace.final_accuracy)
+
+    def test_fedl_records_rho(self):
+        cfg = small_config(max_epochs=5)
+        pol = make_policy("FedL", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        assert np.all(np.isfinite(res.trace.column("rho")))
+        assert np.all(res.trace.column("rho") >= 1.0)
+
+    def test_unknown_policy_rejected(self):
+        cfg = small_config()
+        with pytest.raises(ValueError):
+            make_policy("Magic", cfg, RngFactory(0).get("p"))
+
+
+class TestSharedSimulation:
+    def test_simulation_reuse_is_fresh_state_error_free(self):
+        """Passing an explicit Simulation lets callers control pairing."""
+        cfg = small_config(max_epochs=4)
+        sim = Simulation(cfg)
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg, simulation=sim)
+        assert len(res.trace) >= 1

@@ -1,0 +1,78 @@
+"""Failure-injection tests: selected clients crashing mid-round."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+def config_with_failures(prob, **kwargs):
+    defaults = dict(budget=150.0, num_clients=10, min_participants=4, max_epochs=8)
+    defaults.update(kwargs)
+    cfg = experiment_config(**defaults)
+    return cfg.replace(
+        population=dataclasses.replace(cfg.population, failure_prob=prob)
+    )
+
+
+class TestFailureInjection:
+    def test_failures_recorded(self):
+        cfg = config_with_failures(0.5)
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        failed = res.trace.column("num_failed")
+        assert failed.sum() > 0          # at 50% failure some must crash
+        assert np.all(failed >= 0)
+
+    def test_no_failures_by_default(self):
+        cfg = config_with_failures(0.0)
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        assert res.trace.column("num_failed").sum() == 0
+
+    def test_rent_charged_for_crashed_clients(self):
+        """cost_spent reflects all rented clients (num_selected), not the
+        survivors — you pay for the crash."""
+        cfg = config_with_failures(0.6)
+        pol = make_policy("FedAvg", cfg, RngFactory(1).get("p"))
+        res = run_experiment(pol, cfg)
+        # Budget accounting stays exact.
+        assert res.trace.total_spend <= cfg.budget + 1e-6
+        for rec in res.trace.records:
+            assert rec.num_failed <= rec.num_selected
+
+    def test_training_survives_heavy_failures(self):
+        cfg = config_with_failures(0.5, budget=400.0, max_epochs=25)
+        pol = make_policy("FedAvg", cfg, RngFactory(2).get("p"))
+        res = run_experiment(pol, cfg)
+        assert res.trace.final_accuracy > res.trace.accuracy[0]
+
+    def test_fedl_survives_failures(self):
+        cfg = config_with_failures(0.3, budget=300.0, max_epochs=15)
+        pol = make_policy("FedL", cfg, RngFactory(3).get("p"))
+        res = run_experiment(pol, cfg)
+        assert len(res.trace) >= 5
+        assert np.all(pol.mu >= 0)
+
+    def test_failures_slow_convergence(self):
+        """More failures → less useful work per epoch → (weakly) worse
+        accuracy after a fixed number of epochs."""
+        accs = {}
+        for prob in (0.0, 0.7):
+            cfg = config_with_failures(prob, budget=1e6, max_epochs=15)
+            pol = make_policy("FedAvg", cfg, RngFactory(4).get(f"p{prob}"))
+            res = run_experiment(pol, cfg)
+            accs[prob] = res.trace.final_accuracy
+        assert accs[0.7] <= accs[0.0] + 0.05
+
+    def test_config_validation(self):
+        from repro.config import PopulationConfig
+
+        with pytest.raises(ValueError):
+            PopulationConfig(failure_prob=1.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(failure_prob=-0.1)

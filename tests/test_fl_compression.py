@@ -1,0 +1,177 @@
+"""Tests for communication-efficient uploads (top-k, quantization, CMFL)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.fl.compression import (
+    FLOAT_BITS,
+    CompressionSpec,
+    cmfl_relevance,
+    compress_update,
+    topk_sparsify,
+    uniform_quantize,
+)
+from repro.rng import RngFactory
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        d = np.array([0.1, -5.0, 0.3, 2.0])
+        out = topk_sparsify(d, k=2)
+        np.testing.assert_array_equal(out.vector, [0.0, -5.0, 0.0, 2.0])
+
+    def test_bits_accounting(self):
+        d = np.zeros(1024)
+        d[:10] = 1.0
+        out = topk_sparsify(d, k=10)
+        assert out.bits == 10 * (FLOAT_BITS + 10)  # log2(1024) = 10 index bits
+
+    def test_full_k_lossless(self, rng):
+        d = rng.normal(size=16)
+        out = topk_sparsify(d, k=16)
+        np.testing.assert_array_equal(out.vector, d)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topk_sparsify(np.ones(4), k=0)
+        with pytest.raises(ValueError):
+            topk_sparsify(np.ones(4), k=5)
+
+    @given(st.integers(0, 1000), st.integers(1, 30))
+    @settings(max_examples=40)
+    def test_error_bounded_by_dropped_mass(self, seed, k):
+        rng = np.random.default_rng(seed)
+        d = rng.normal(size=32)
+        k = min(k, 32)
+        out = topk_sparsify(d, k)
+        err = np.abs(d - out.vector)
+        kept_min = np.min(np.abs(out.vector[out.vector != 0])) if k < 32 else np.inf
+        # Every dropped coordinate is no larger than every kept one.
+        assert np.all(err <= kept_min + 1e-12)
+
+
+class TestQuantize:
+    def test_error_within_half_step(self, rng):
+        d = rng.normal(size=100)
+        bits = 6
+        out = uniform_quantize(d, bits)
+        scale = np.abs(d).max()
+        step = 2 * scale / (2**bits - 1)
+        assert np.max(np.abs(out.vector - d)) <= step / 2 + 1e-12
+
+    def test_bits_accounting(self):
+        out = uniform_quantize(np.ones(100), bits=8)
+        assert out.bits == 100 * 8 + FLOAT_BITS
+
+    def test_more_bits_less_error(self, rng):
+        d = rng.normal(size=200)
+        e2 = np.abs(uniform_quantize(d, 2).vector - d).max()
+        e8 = np.abs(uniform_quantize(d, 8).vector - d).max()
+        assert e8 < e2
+
+    def test_zero_vector(self):
+        out = uniform_quantize(np.zeros(10), 4)
+        np.testing.assert_array_equal(out.vector, 0.0)
+        assert out.bits == FLOAT_BITS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_quantize(np.ones(3), 0)
+        with pytest.raises(ValueError):
+            uniform_quantize(np.ones(3), 33)
+
+
+class TestCmfl:
+    def test_full_agreement(self):
+        d = np.array([1.0, -2.0, 3.0])
+        assert cmfl_relevance(d, d) == 1.0
+
+    def test_full_disagreement(self):
+        d = np.array([1.0, -2.0, 3.0])
+        assert cmfl_relevance(d, -d) == 0.0
+
+    def test_zeros_count_as_agreeing(self):
+        assert cmfl_relevance(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cmfl_relevance(np.ones(3), np.ones(2))
+        with pytest.raises(ValueError):
+            cmfl_relevance(np.ones(0), np.ones(0))
+
+    def test_suppression_below_threshold(self, rng):
+        d = rng.normal(size=50)
+        out = compress_update(d, "cmfl", global_direction=-d, cmfl_threshold=0.5)
+        assert not out.kept
+        assert out.bits == 1.0
+        np.testing.assert_array_equal(out.vector, 0.0)
+
+    def test_kept_above_threshold(self, rng):
+        d = rng.normal(size=50)
+        out = compress_update(d, "cmfl", global_direction=d, cmfl_threshold=0.5)
+        assert out.kept
+        np.testing.assert_array_equal(out.vector, d)
+
+    def test_no_reference_passes_through(self, rng):
+        d = rng.normal(size=10)
+        out = compress_update(d, "cmfl", global_direction=None)
+        assert out.kept
+
+
+class TestCompressionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(scheme="dct")
+        with pytest.raises(ValueError):
+            CompressionSpec(topk_fraction=0.0)
+        with pytest.raises(ValueError):
+            CompressionSpec(quantize_bits=0)
+        with pytest.raises(ValueError):
+            CompressionSpec(cmfl_threshold=1.5)
+
+    def test_compress_update_unknown_scheme(self, rng):
+        with pytest.raises(ValueError):
+            compress_update(rng.normal(size=5), "dct")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("scheme", ["topk", "quantize", "cmfl"])
+    def test_experiment_learns_under_compression(self, scheme):
+        cfg = experiment_config(budget=200.0, num_clients=10, max_epochs=10)
+        cfg = cfg.replace(
+            training=dataclasses.replace(cfg.training, compression=scheme)
+        )
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        assert res.trace.final_accuracy > res.trace.accuracy[0]
+
+    def test_topk_reduces_simulated_time(self):
+        """Compressed uploads shrink τ_cm, so the same epochs take less
+        simulated wall clock in a communication-bound setting."""
+        times = {}
+        for scheme in ("none", "topk"):
+            cfg = experiment_config(budget=200.0, num_clients=10, max_epochs=8)
+            cfg = cfg.replace(
+                training=dataclasses.replace(
+                    cfg.training, compression=scheme, topk_fraction=0.05
+                )
+            )
+            pol = make_policy("FedAvg", cfg, RngFactory(1).get(f"p{scheme}"))
+            res = run_experiment(pol, cfg)
+            horizon = min(8, len(res.trace))
+            times[scheme] = float(res.trace.times[horizon - 1])
+        assert times["topk"] < times["none"]
+
+    def test_config_validation(self):
+        from repro.config import TrainingConfig
+
+        with pytest.raises(ValueError):
+            TrainingConfig(compression="dct")
+        with pytest.raises(ValueError):
+            TrainingConfig(topk_fraction=2.0)

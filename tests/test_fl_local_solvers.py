@@ -1,0 +1,147 @@
+"""Tests for the local-solver variants: FedProx and inner momentum."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import ClassConditionalGenerator
+from repro.fl.client import FLClient
+from repro.fl.dane import DaneWorkspace, dane_local_step
+from repro.fl.round_runner import run_federated_round
+from repro.fl.server import FLServer
+from repro.nn.models import build_model
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+@pytest.fixture
+def setup(rng_factory):
+    gen = ClassConditionalGenerator((6, 6, 1), 4, rng_factory.get("gen"), noise=0.3)
+    model = build_model("mlp", 36, 4, rng_factory.get("model"), hidden=(8,))
+    data = gen.sample(30, rng=rng_factory.get("d"))
+    return gen, model, data
+
+
+class TestFedProxClient:
+    def test_fedprox_trains(self, setup, rng_factory):
+        gen, model, data = setup
+        client = FLClient(
+            0, model, rng_factory.get("c"), local_solver="fedprox", sgd_steps=6
+        )
+        client.set_data(data)
+        w = model.get_params()
+        g = client.local_grad(w)
+        d, eta, traj = client.train_iteration(w, g)
+        assert traj[-1] < traj[0]  # local objective decreased
+        assert np.any(d != 0)
+
+    def test_fedprox_ignores_global_gradient(self, setup, rng_factory):
+        """FedProx has no gradient-correction term: the update must not
+        depend on the broadcast global gradient."""
+        gen, model, data = setup
+        w = model.get_params()
+
+        def update_with(global_grad, seed):
+            client = FLClient(
+                0, model, np.random.default_rng(seed),
+                local_solver="fedprox", sgd_steps=4,
+            )
+            client.set_data(data)
+            d, _, _ = client.train_iteration(w, global_grad)
+            return d
+
+        d1 = update_with(np.zeros_like(w), seed=3)
+        d2 = update_with(np.ones_like(w) * 100.0, seed=3)
+        np.testing.assert_allclose(d1, d2)
+
+    def test_dane_uses_global_gradient(self, setup, rng_factory):
+        gen, model, data = setup
+        w = model.get_params()
+
+        def update_with(global_grad, seed):
+            client = FLClient(
+                0, model, np.random.default_rng(seed),
+                local_solver="dane", sgd_steps=4,
+            )
+            client.set_data(data)
+            d, _, _ = client.train_iteration(w, global_grad)
+            return d
+
+        d1 = update_with(np.zeros_like(w), seed=3)
+        d2 = update_with(np.ones_like(w), seed=3)
+        assert not np.allclose(d1, d2)
+
+    def test_unknown_solver_rejected(self, setup, rng_factory):
+        gen, model, data = setup
+        with pytest.raises(ValueError):
+            FLClient(0, model, rng_factory.get("c"), local_solver="scaffold")
+
+
+class TestMomentum:
+    def test_momentum_validation(self, setup, rng_factory):
+        gen, model, data = setup
+        with pytest.raises(ValueError):
+            FLClient(0, model, rng_factory.get("c"), momentum=1.0)
+        w = model.get_params()
+        ws = DaneWorkspace(w, np.zeros_like(w), np.zeros_like(w), 1.0, 0.0)
+        with pytest.raises(ValueError):
+            dane_local_step(model, ws, data, 3, 0.05, 16,
+                            np.random.default_rng(0), momentum=-0.1)
+
+    def test_momentum_changes_trajectory(self, setup, rng_factory):
+        gen, model, data = setup
+        w = model.get_params()
+        g = np.zeros_like(w)
+        ws = DaneWorkspace(w, g, g, sigma1=1.0, sigma2=0.0)
+        d_plain, _ = dane_local_step(
+            model, ws, data, 6, 0.05, 64, np.random.default_rng(1), momentum=0.0
+        )
+        d_mom, _ = dane_local_step(
+            model, ws, data, 6, 0.05, 64, np.random.default_rng(1), momentum=0.8
+        )
+        assert not np.allclose(d_plain, d_mom)
+
+    def test_momentum_accelerates_surrogate_decrease(self, setup, rng_factory):
+        gen, model, data = setup
+        w = model.get_params()
+        g = np.zeros_like(w)
+        ws = DaneWorkspace(w, g, g, sigma1=1.0, sigma2=0.0)
+        _, traj_plain = dane_local_step(
+            model, ws, data, 10, 0.02, 64, np.random.default_rng(1), momentum=0.0
+        )
+        _, traj_mom = dane_local_step(
+            model, ws, data, 10, 0.02, 64, np.random.default_rng(1), momentum=0.7
+        )
+        assert traj_mom[-1] < traj_plain[-1]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("solver", ["dane", "fedprox"])
+    def test_experiment_completes(self, solver):
+        cfg = experiment_config(budget=120.0, num_clients=10, max_epochs=6)
+        cfg = cfg.replace(
+            training=dataclasses.replace(cfg.training, local_solver=solver)
+        )
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        assert res.trace.final_accuracy > res.trace.accuracy[0] - 0.05
+
+    def test_momentum_experiment_completes(self):
+        cfg = experiment_config(budget=120.0, num_clients=10, max_epochs=6)
+        cfg = cfg.replace(
+            training=dataclasses.replace(cfg.training, momentum=0.6)
+        )
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        assert len(res.trace) >= 1
+
+    def test_config_validation(self):
+        import dataclasses as dc
+        from repro.config import TrainingConfig
+
+        with pytest.raises(ValueError):
+            TrainingConfig(local_solver="scaffold")
+        with pytest.raises(ValueError):
+            TrainingConfig(momentum=1.0)

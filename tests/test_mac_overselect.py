@@ -1,0 +1,136 @@
+"""Tests for the TDMA MAC option and over-selection quorum semantics."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedAvgPolicy
+from repro.baselines.base import Decision
+from repro.baselines.overselect import OverSelectPolicy
+from repro.config import NetworkConfig
+from repro.experiments.runner import Simulation, run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.rng import RngFactory
+
+
+class TestTdma:
+    def _sims(self):
+        cfg = experiment_config(budget=120.0, num_clients=10, max_epochs=4)
+        cfg_tdma = cfg.replace(
+            network=dataclasses.replace(cfg.network, mac="tdma")
+        )
+        return Simulation(cfg), Simulation(cfg_tdma)
+
+    def test_selected_clients_share_total_slot_time(self):
+        sim_f, sim_t = self._sims()
+        counts = np.full(10, 30)
+        st = sim_t.channel.mean_state()
+        sel = np.zeros(10, bool)
+        sel[:4] = True
+        tau = sim_t.realized_tau(counts, st, 4, selected=sel)
+        # All selected clients carry the same τ_cm component (the full
+        # slot sequence), so differences among them are τ_loc only.
+        bits = counts * sim_t.population.bits_per_sample
+        from repro.net import compute_latency
+
+        tau_loc = np.asarray(compute_latency(
+            sim_t.population.cycles_per_bit, bits, sim_t.population.cpu_freq_hz
+        ))
+        comm = tau[sel] - tau_loc[sel]
+        np.testing.assert_allclose(comm, comm[0])
+
+    def test_tdma_slower_than_fdma_for_many_uploaders(self):
+        """Sequential slots accumulate: for homogeneous clients TDMA's
+        total is ~n full-band uploads vs FDMA's single shared-band upload
+        — and by Shannon concavity FDMA at B/n is at least 1/n of the
+        full-band rate, so FDMA's max <= TDMA's sum."""
+        sim_f, sim_t = self._sims()
+        counts = np.full(10, 30)
+        sel = np.zeros(10, bool)
+        sel[:5] = True
+        tf = sim_f.realized_tau(counts, sim_f.channel.mean_state(), 5, selected=sel)
+        tt = sim_t.realized_tau(counts, sim_t.channel.mean_state(), 5, selected=sel)
+        assert tt[sel].max() >= tf[sel].max() * 0.99
+
+    def test_experiment_completes_under_tdma(self):
+        cfg = experiment_config(budget=120.0, num_clients=10, max_epochs=4)
+        cfg = cfg.replace(network=dataclasses.replace(cfg.network, mac="tdma"))
+        pol = make_policy("FedAvg", cfg, RngFactory(0).get("p"))
+        res = run_experiment(pol, cfg)
+        assert len(res.trace) >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(mac="csma")
+
+
+class TestOverSelection:
+    def test_wrapper_adds_extras_and_sets_quorum(self, rng):
+        from tests.test_baselines import make_ctx
+
+        base = FedAvgPolicy(rng)
+        wrapped = OverSelectPolicy(base, extra=2)
+        ctx = make_ctx(n=3, budget=1e6)
+        d = wrapped.select(ctx)
+        assert d.quorum == 3
+        assert d.selected.sum() == 5
+        assert wrapped.name == "FedAvg+over2"
+
+    def test_extras_are_fastest_estimated(self, rng):
+        from tests.test_baselines import make_ctx
+
+        tau = np.arange(1.0, 11.0)
+        ctx = make_ctx(n=2, budget=1e6, tau_last=tau)
+        base = FedAvgPolicy(rng)
+        wrapped = OverSelectPolicy(base, extra=3)
+        d = wrapped.select(ctx)
+        extras = d.selected.copy()
+        # The base picked 2; extras are the fastest remaining.
+        assert d.selected.sum() == 5
+
+    def test_budget_respected_when_adding(self, rng):
+        from tests.test_baselines import make_ctx
+
+        costs = np.full(10, 10.0)
+        ctx = make_ctx(n=2, budget=21.0, costs=costs)
+        wrapped = OverSelectPolicy(FedAvgPolicy(rng), extra=5)
+        d = wrapped.select(ctx)
+        assert float(costs[d.selected].sum()) <= 21.0 + 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            OverSelectPolicy(FedAvgPolicy(rng), extra=0)
+        with pytest.raises(ValueError):
+            Decision(selected=np.array([True]), iterations=1, quorum=0)
+
+    def test_quorum_cuts_epoch_latency(self):
+        """With quorum semantics, renting extras lowers epoch latency:
+        the straggler tail is cut at the quorum-th fastest."""
+        cfg = experiment_config(
+            budget=600.0, num_clients=12, min_participants=4, max_epochs=10, seed=5
+        )
+
+        def run(wrap: bool):
+            base = make_policy("FedAvg", cfg, RngFactory(5).get("p"))
+            pol = OverSelectPolicy(base, extra=3) if wrap else base
+            return run_experiment(pol, cfg).trace
+
+        plain = run(False)
+        over = run(True)
+        horizon = min(len(plain), len(over))
+        lat_plain = plain.column("epoch_latency")[:horizon].mean()
+        lat_over = over.column("epoch_latency")[:horizon].mean()
+        assert lat_over <= lat_plain * 1.05
+
+    def test_quorum_with_failures_keeps_training(self):
+        cfg = experiment_config(
+            budget=300.0, num_clients=12, min_participants=4, max_epochs=8, seed=6
+        )
+        cfg = cfg.replace(
+            population=dataclasses.replace(cfg.population, failure_prob=0.3)
+        )
+        base = make_policy("FedAvg", cfg, RngFactory(6).get("p"))
+        pol = OverSelectPolicy(base, extra=3)
+        res = run_experiment(pol, cfg)
+        assert len(res.trace) >= 3

@@ -1,0 +1,168 @@
+"""Tests for the channel model and FDMA rate/allocation."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig
+from repro.net.channel import ChannelModel, ChannelState
+from repro.net.fdma import achievable_rate, allocate_bandwidth, equal_share_bandwidth
+from repro.net.pathloss import dbm_to_watt
+
+
+def make_channel(rng, distances=(50.0, 200.0, 480.0), **kwargs):
+    cfg = NetworkConfig(**kwargs)
+    return ChannelModel(np.asarray(distances), cfg, rng)
+
+
+class TestChannelState:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            ChannelState(
+                gains=np.ones(3),
+                tx_power_watt=np.ones(2),
+                noise_psd_watt_hz=1e-20,
+            )
+
+    def test_rejects_nonpositive_gains(self):
+        with pytest.raises(ValueError):
+            ChannelState(
+                gains=np.array([0.0]),
+                tx_power_watt=np.array([1.0]),
+                noise_psd_watt_hz=1e-20,
+            )
+
+    def test_snr_per_hz_formula(self):
+        st = ChannelState(
+            gains=np.array([2e-10]),
+            tx_power_watt=np.array([0.01]),
+            noise_psd_watt_hz=4e-21,
+        )
+        assert st.snr_per_hz()[0] == pytest.approx(2e-10 * 0.01 / 4e-21)
+
+
+class TestChannelModel:
+    def test_nearer_client_stronger_on_average(self, rng):
+        ch = make_channel(rng)
+        mean = ch.mean_state()
+        assert mean.gains[0] > mean.gains[1] > mean.gains[2]
+
+    def test_min_distance_clamp(self, rng):
+        ch = make_channel(rng, distances=(0.0, 100.0))
+        assert ch.distances_m[0] == NetworkConfig().min_distance_m
+
+    def test_shadowing_ar1_is_correlated(self, rng):
+        ch = make_channel(rng, distances=tuple([250.0] * 200))
+        s1 = np.log10(ch.sample().gains)
+        s2 = np.log10(ch.sample().gains)
+        corr = np.corrcoef(s1, s2)[0, 1]
+        assert corr > 0.6  # φ = 0.9 by default
+
+    def test_zero_corr_is_iid(self, rng):
+        ch = make_channel(rng, distances=tuple([250.0] * 300), shadowing_corr=0.0)
+        s1 = np.log10(ch.sample().gains)
+        s2 = np.log10(ch.sample().gains)
+        corr = np.corrcoef(s1, s2)[0, 1]
+        assert abs(corr) < 0.25
+
+    def test_stationary_std_matches_config(self, rng):
+        ch = make_channel(rng, distances=tuple([250.0] * 2000))
+        for _ in range(20):  # burn in
+            st = ch.sample()
+        shadow_db = -10.0 * np.log10(st.gains) - 128.1 - 37.6 * np.log10(0.25)
+        assert np.std(shadow_db) == pytest.approx(8.0, rel=0.15)
+
+    def test_rejects_negative_distance(self, rng):
+        with pytest.raises(ValueError):
+            make_channel(rng, distances=(-5.0,))
+
+
+class TestAchievableRate:
+    def test_shannon_formula_hand_check(self):
+        # b = 1 MHz, snr/Hz = 1 MHz → r = 1e6 · log2(2) = 1e6 bit/s.
+        assert achievable_rate(1e6, 1e6) == pytest.approx(1e6)
+
+    def test_zero_bandwidth_zero_rate(self):
+        assert achievable_rate(0.0, 1e6) == 0.0
+
+    def test_monotone_in_bandwidth(self):
+        r1 = achievable_rate(1e6, 5e6)
+        r2 = achievable_rate(2e6, 5e6)
+        assert r2 > r1
+
+    def test_diminishing_returns(self):
+        # Concavity: doubling bandwidth less than doubles the rate.
+        r1 = achievable_rate(1e6, 5e6)
+        r2 = achievable_rate(2e6, 5e6)
+        assert r2 < 2 * r1
+
+    def test_capacity_limit(self):
+        # As b → ∞, r → snr/ln2.
+        snr = 1e6
+        r = achievable_rate(1e12, snr)
+        assert r == pytest.approx(snr / np.log(2), rel=1e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            achievable_rate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            achievable_rate(1.0, -1.0)
+
+
+class TestBandwidthAllocation:
+    def _state(self, n=4):
+        gains = np.geomspace(1e-9, 1e-12, n)
+        return ChannelState(
+            gains=gains,
+            tx_power_watt=np.full(n, float(dbm_to_watt(10.0))),
+            noise_psd_watt_hz=float(dbm_to_watt(-174.0)),
+        )
+
+    def test_equal_share_value(self):
+        assert equal_share_bandwidth(20e6, 4) == pytest.approx(5e6)
+
+    def test_equal_share_rejects_bad(self):
+        with pytest.raises(ValueError):
+            equal_share_bandwidth(20e6, 0)
+        with pytest.raises(ValueError):
+            equal_share_bandwidth(0.0, 3)
+
+    def test_equal_policy_masks_unselected(self):
+        st = self._state()
+        sel = np.array([True, False, True, False])
+        bw = allocate_bandwidth(st, sel, 20e6, 80e3, policy="equal")
+        assert bw[1] == 0.0 and bw[3] == 0.0
+        assert bw[0] == pytest.approx(10e6)
+
+    def test_no_selection_all_zero(self):
+        st = self._state()
+        bw = allocate_bandwidth(st, np.zeros(4, bool), 20e6, 80e3)
+        np.testing.assert_array_equal(bw, np.zeros(4))
+
+    def test_min_latency_uses_full_band(self):
+        st = self._state()
+        sel = np.ones(4, bool)
+        bw = allocate_bandwidth(st, sel, 20e6, 80e3, policy="min_latency")
+        assert bw.sum() == pytest.approx(20e6, rel=1e-6)
+
+    def test_min_latency_gives_weak_clients_more(self):
+        st = self._state()
+        sel = np.ones(4, bool)
+        bw = allocate_bandwidth(st, sel, 20e6, 80e3, policy="min_latency")
+        # gains decrease with index → bandwidth must increase
+        assert bw[3] > bw[0]
+
+    def test_min_latency_lowers_max_latency(self):
+        from repro.net.fdma import achievable_rate as rate
+        st = self._state()
+        sel = np.ones(4, bool)
+        s = 80e3
+        eq = allocate_bandwidth(st, sel, 20e6, s, policy="equal")
+        ml = allocate_bandwidth(st, sel, 20e6, s, policy="min_latency")
+        snr = st.snr_per_hz()
+        lat_eq = (s / np.asarray(rate(eq, snr))).max()
+        lat_ml = (s / np.asarray(rate(ml, snr))).max()
+        assert lat_ml <= lat_eq * 1.001
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            allocate_bandwidth(self._state(), np.ones(4, bool), 20e6, 80e3, policy="prop")

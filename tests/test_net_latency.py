@@ -1,0 +1,78 @@
+"""Tests for the latency model (paper Sec. 3.2-3.3 formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import (
+    client_latency,
+    compute_latency,
+    epoch_latency,
+    transmission_latency,
+)
+
+
+class TestComputeLatency:
+    def test_paper_formula(self):
+        # τ_loc = e·D/π: 20 cycles/bit × 1e6 bits / 2e9 Hz = 0.01 s.
+        assert compute_latency(20.0, 1e6, 2e9) == pytest.approx(0.01)
+
+    def test_vectorized(self):
+        out = compute_latency(np.array([10.0, 20.0]), 1e6, 2e9)
+        np.testing.assert_allclose(out, [0.005, 0.01])
+
+    def test_zero_data_zero_latency(self):
+        assert compute_latency(20.0, 0.0, 2e9) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compute_latency(0.0, 1e6, 2e9)
+        with pytest.raises(ValueError):
+            compute_latency(10.0, -1.0, 2e9)
+        with pytest.raises(ValueError):
+            compute_latency(10.0, 1e6, 0.0)
+
+
+class TestTransmissionLatency:
+    def test_formula(self):
+        assert transmission_latency(80e3, 1e6) == pytest.approx(0.08)
+
+    def test_zero_rate_infinite(self):
+        assert transmission_latency(80e3, 0.0) == np.inf
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            transmission_latency(0.0, 1e6)
+        with pytest.raises(ValueError):
+            transmission_latency(1e3, -1.0)
+
+
+class TestClientLatency:
+    def test_combination(self):
+        # d_k = l·(τ_loc + τ_cm)
+        assert client_latency(3, 0.01, 0.02) == pytest.approx(0.09)
+
+    def test_zero_iterations(self):
+        assert client_latency(0, 1.0, 1.0) == 0.0
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            client_latency(-1, 1.0, 1.0)
+
+
+class TestEpochLatency:
+    def test_max_over_selected_only(self):
+        lat = np.array([1.0, 9.0, 2.0])
+        sel = np.array([True, False, True])
+        assert epoch_latency(lat, sel) == 2.0
+
+    def test_slowest_participant_dominates(self):
+        lat = np.array([1.0, 9.0, 2.0])
+        sel = np.array([True, True, True])
+        assert epoch_latency(lat, sel) == 9.0
+
+    def test_empty_selection_zero(self):
+        assert epoch_latency(np.ones(3), np.zeros(3, bool)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            epoch_latency(np.ones(3), np.ones(2, bool))

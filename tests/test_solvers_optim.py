@@ -1,0 +1,240 @@
+"""Cross-checked tests for projected gradient, interior point, and box QP.
+
+Strategy: three independent solvers must agree on random strongly convex
+QPs — collusion on wrong answers across three algorithms is implausible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.interior_point import solve_interior_point
+from repro.solvers.line_search import Filter, armijo_backtracking
+from repro.solvers.projected_gradient import projected_gradient
+from repro.solvers.projections import project_box
+from repro.solvers.qp import solve_box_qp
+
+
+def random_qp(rng: np.random.Generator, n: int):
+    """A strongly convex quadratic 0.5 xᵀQx + cᵀx."""
+    A = rng.normal(size=(n, n))
+    Q = A @ A.T + n * np.eye(n)
+    c = rng.normal(size=n)
+    return Q, c
+
+
+def box_constraints(n: int, lo=0.0, hi=1.0):
+    A = np.vstack([np.eye(n), -np.eye(n)])
+    b = np.concatenate([np.full(n, hi), -np.full(n, lo)])
+    return A, b
+
+
+class TestArmijo:
+    def test_accepts_full_step_on_quadratic(self):
+        f = lambda x: float(x @ x)
+        x = np.array([1.0, 1.0])
+        g = 2 * x
+        t, f_new = armijo_backtracking(f, x, f(x), g, -g, step0=0.5)
+        assert f_new < f(x)
+
+    def test_backtracks_on_overshoot(self):
+        f = lambda x: float(x @ x)
+        x = np.array([1.0])
+        g = 2 * x
+        t, f_new = armijo_backtracking(f, x, f(x), g, -g, step0=100.0)
+        assert t < 100.0
+        assert f_new <= f(x)
+
+
+class TestFilter:
+    def test_empty_accepts_everything(self):
+        flt = Filter()
+        assert flt.is_acceptable(1.0, 1.0)
+
+    def test_dominated_rejected(self):
+        flt = Filter()
+        flt.add(1.0, 1.0)
+        assert not flt.is_acceptable(1.0, 1.0)
+        assert not flt.is_acceptable(2.0, 2.0)
+
+    def test_improvement_accepted(self):
+        flt = Filter()
+        flt.add(1.0, 1.0)
+        assert flt.is_acceptable(0.5, 2.0)   # better violation
+        assert flt.is_acceptable(2.0, 0.5)   # better objective... rejected by
+        # theta_max? No theta_max set; phi improves enough:
+        assert flt.is_acceptable(1.0, 0.5)
+
+    def test_add_prunes_dominated_entries(self):
+        flt = Filter()
+        flt.add(2.0, 2.0)
+        flt.add(1.0, 1.0)  # dominates the first
+        assert len(flt) == 1
+
+    def test_theta_max(self):
+        flt = Filter(theta_max=1.0)
+        assert not flt.is_acceptable(2.0, -100.0)
+
+
+class TestBoxQP:
+    def test_unconstrained_interior_solution(self):
+        Q = np.diag([2.0, 2.0])
+        c = np.array([-1.0, -1.0])   # optimum (0.5, 0.5)
+        x = solve_box_qp(Q, c, 0.0, 1.0)
+        np.testing.assert_allclose(x, [0.5, 0.5], atol=1e-8)
+
+    def test_clipped_solution(self):
+        Q = np.eye(1)
+        c = np.array([-10.0])        # unconstrained optimum 10 → clipped to 1
+        x = solve_box_qp(Q, c, 0.0, 1.0)
+        np.testing.assert_allclose(x, [1.0])
+
+    def test_rejects_zero_diagonal(self):
+        with pytest.raises(ValueError):
+            solve_box_qp(np.zeros((2, 2)), np.ones(2), 0.0, 1.0)
+
+
+class TestProjectedGradient:
+    def test_simple_quadratic(self):
+        Q = np.diag([1.0, 4.0])
+        c = np.array([-1.0, -4.0])
+        res = projected_gradient(
+            lambda x: 0.5 * x @ Q @ x + c @ x,
+            lambda x: Q @ x + c,
+            lambda x: project_box(x, 0.0, 2.0),
+            x0=np.zeros(2),
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-5)
+
+    def test_active_box_constraint(self):
+        res = projected_gradient(
+            lambda x: float((x - 5.0) @ (x - 5.0)),
+            lambda x: 2 * (x - 5.0),
+            lambda x: project_box(x, 0.0, 1.0),
+            x0=np.zeros(3),
+        )
+        np.testing.assert_allclose(res.x, np.ones(3), atol=1e-8)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_box_qp(self, n, seed):
+        rng = np.random.default_rng(seed)
+        Q, c = random_qp(rng, n)
+        ref = solve_box_qp(Q, c, 0.0, 1.0)
+        res = projected_gradient(
+            lambda x: 0.5 * x @ Q @ x + c @ x,
+            lambda x: Q @ x + c,
+            lambda x: project_box(x, 0.0, 1.0),
+            x0=np.full(n, 0.5),
+            max_iters=2000,
+            tol=1e-12,
+        )
+        f_ref = 0.5 * ref @ Q @ ref + c @ ref
+        f_pg = res.fun
+        assert f_pg <= f_ref + 1e-5 * (1 + abs(f_ref))
+
+
+class TestInteriorPoint:
+    def test_simple_quadratic_in_box(self):
+        Q = np.diag([2.0, 2.0])
+        c = np.array([-1.0, -1.0])
+        A, b = box_constraints(2)
+        res = solve_interior_point(
+            lambda x: 0.5 * x @ Q @ x + c @ x,
+            lambda x: Q @ x + c,
+            lambda x: Q,
+            A,
+            b,
+            x0=np.full(2, 0.5),
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.x, [0.5, 0.5], atol=1e-4)
+
+    def test_active_constraint_solution(self):
+        # min (x-5)² over [0,1] → x = 1
+        A, b = box_constraints(1)
+        res = solve_interior_point(
+            lambda x: float((x - 5) @ (x - 5)),
+            lambda x: 2 * (x - 5),
+            lambda x: 2 * np.eye(1),
+            A,
+            b,
+            x0=np.array([0.5]),
+        )
+        np.testing.assert_allclose(res.x, [1.0], atol=1e-3)
+
+    def test_repairs_infeasible_start(self):
+        A, b = box_constraints(2)
+        res = solve_interior_point(
+            lambda x: float(x @ x),
+            lambda x: 2 * x,
+            lambda x: 2 * np.eye(2),
+            A,
+            b,
+            x0=np.array([5.0, -3.0]),   # far outside the box
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.x, [0.0, 0.0], atol=1e-3)
+
+    def test_uses_fallback_interior_point(self):
+        # Start on a vertex (not strictly feasible) with a provided interior.
+        A, b = box_constraints(2)
+        res = solve_interior_point(
+            lambda x: float(x @ x),
+            lambda x: 2 * x,
+            lambda x: 2 * np.eye(2),
+            A,
+            b,
+            x0=np.array([0.0, 0.0]),
+            x_interior=np.array([0.5, 0.5]),
+        )
+        assert np.all(res.x >= -1e-6)
+
+    def test_reports_failure_without_interior(self):
+        # Empty feasible set: x <= 0 and -x <= -1 (i.e. x >= 1).
+        A = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])
+        res = solve_interior_point(
+            lambda x: float(x @ x),
+            lambda x: 2 * x,
+            lambda x: 2 * np.eye(1),
+            A,
+            b,
+            x0=np.array([0.5]),
+        )
+        assert not res.converged
+
+    def test_inequality_constraint_general(self):
+        # min x+y st x+y >= 1, box [0, 2]²  → optimum on x+y=1.
+        A = np.vstack([np.eye(2), -np.eye(2), -np.ones((1, 2))])
+        b = np.concatenate([np.full(2, 2.0), np.zeros(2), [-1.0]])
+        res = solve_interior_point(
+            lambda x: float(x.sum()),
+            lambda x: np.ones(2),
+            lambda x: np.zeros((2, 2)),
+            A,
+            b,
+            x0=np.full(2, 1.0),
+        )
+        assert np.isclose(res.x.sum(), 1.0, atol=1e-3)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_agrees_with_box_qp(self, n, seed):
+        rng = np.random.default_rng(seed)
+        Q, c = random_qp(rng, n)
+        ref = solve_box_qp(Q, c, 0.0, 1.0)
+        A, b = box_constraints(n)
+        res = solve_interior_point(
+            lambda x: 0.5 * x @ Q @ x + c @ x,
+            lambda x: Q @ x + c,
+            lambda x: Q,
+            A,
+            b,
+            x0=np.full(n, 0.5),
+            tol=1e-10,
+        )
+        f_ref = 0.5 * ref @ Q @ ref + c @ ref
+        assert res.fun <= f_ref + 1e-4 * (1 + abs(f_ref))

@@ -1,0 +1,189 @@
+"""Tests for Euclidean projections (unit + property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.solvers.projections import (
+    alternating_projections,
+    project_box,
+    project_box_halfspace,
+    project_capped_simplex,
+    project_halfspace,
+    project_simplex,
+)
+
+vec = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=12),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+
+class TestProjectBox:
+    def test_inside_unchanged(self):
+        v = np.array([0.3, 0.7])
+        np.testing.assert_array_equal(project_box(v, 0.0, 1.0), v)
+
+    def test_clips_both_sides(self):
+        out = project_box(np.array([-1.0, 2.0]), 0.0, 1.0)
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_empty_box_raises(self):
+        with pytest.raises(ValueError):
+            project_box(np.array([0.5]), 1.0, 0.0)
+
+    @given(vec)
+    def test_idempotent(self, v):
+        once = project_box(v, -1.0, 1.0)
+        np.testing.assert_array_equal(project_box(once, -1.0, 1.0), once)
+
+
+class TestProjectHalfspace:
+    def test_feasible_unchanged(self):
+        v = np.array([0.1, 0.1])
+        a = np.ones(2)
+        np.testing.assert_array_equal(project_halfspace(v, a, 1.0), v)
+
+    def test_projection_lands_on_boundary(self):
+        v = np.array([2.0, 2.0])
+        out = project_halfspace(v, np.ones(2), 2.0)
+        assert np.isclose(out @ np.ones(2), 2.0)
+
+    def test_projection_is_orthogonal(self):
+        v = np.array([3.0, 1.0])
+        a = np.array([1.0, 2.0])
+        out = project_halfspace(v, a, 1.0)
+        # displacement parallel to a
+        disp = v - out
+        cross = disp[0] * a[1] - disp[1] * a[0]
+        assert abs(cross) < 1e-12
+
+    def test_zero_normal_feasible(self):
+        v = np.array([1.0])
+        np.testing.assert_array_equal(project_halfspace(v, np.zeros(1), 0.0), v)
+
+    def test_zero_normal_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            project_halfspace(np.array([1.0]), np.zeros(1), -1.0)
+
+    @given(vec)
+    @settings(max_examples=50)
+    def test_result_feasible(self, v):
+        a = np.ones_like(v)
+        out = project_halfspace(v, a, 0.5)
+        assert float(a @ out) <= 0.5 + 1e-9
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_simplex(v), v, atol=1e-12)
+
+    def test_sums_to_radius(self):
+        out = project_simplex(np.array([5.0, -1.0, 0.3]), radius=2.0)
+        assert np.isclose(out.sum(), 2.0)
+        assert np.all(out >= 0)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.ones(3), radius=0.0)
+
+    @given(vec)
+    @settings(max_examples=50)
+    def test_feasible_and_idempotent(self, v):
+        out = project_simplex(v)
+        assert np.isclose(out.sum(), 1.0, atol=1e-8)
+        assert np.all(out >= -1e-12)
+        np.testing.assert_allclose(project_simplex(out), out, atol=1e-7)
+
+
+class TestProjectCappedSimplex:
+    def test_basic(self):
+        out = project_capped_simplex(np.array([2.0, 0.5, -1.0]), total=1.5, cap=1.0)
+        assert np.isclose(out.sum(), 1.5, atol=1e-8)
+        assert np.all((out >= -1e-12) & (out <= 1.0 + 1e-12))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            project_capped_simplex(np.ones(2), total=3.0, cap=1.0)
+
+    @given(vec, st.floats(0.1, 0.9))
+    @settings(max_examples=50)
+    def test_feasible(self, v, frac):
+        total = frac * v.size
+        out = project_capped_simplex(v, total=total, cap=1.0)
+        assert np.isclose(out.sum(), total, atol=1e-6)
+        assert np.all((out >= -1e-9) & (out <= 1.0 + 1e-9))
+
+
+class TestProjectBoxHalfspace:
+    def test_box_feasible_stays(self):
+        v = np.array([0.2, 0.2])
+        out = project_box_halfspace(v, 0.0, 1.0, np.ones(2), 1.0)
+        np.testing.assert_allclose(out, v)
+
+    def test_binding_budget(self):
+        v = np.array([1.0, 1.0])
+        a = np.array([1.0, 1.0])
+        out = project_box_halfspace(v, 0.0, 1.0, a, 1.0)
+        assert float(a @ out) <= 1.0 + 1e-8
+        # symmetric problem → symmetric answer
+        assert np.isclose(out[0], out[1], atol=1e-6)
+
+    def test_negative_a_rejected(self):
+        with pytest.raises(ValueError):
+            project_box_halfspace(np.ones(2), 0.0, 1.0, np.array([1.0, -1.0]), 1.0)
+
+    def test_empty_intersection_raises(self):
+        with pytest.raises(ValueError):
+            project_box_halfspace(np.ones(2), 0.5, 1.0, np.ones(2), 0.1)
+
+    @given(vec)
+    @settings(max_examples=40)
+    def test_matches_dykstra(self, v):
+        """Exact dual-search projection equals Dykstra on the same sets."""
+        a = np.abs(np.ones_like(v))
+        b = 0.6 * v.size
+        direct = project_box_halfspace(v, 0.0, 1.0, a, b)
+        dyk = alternating_projections(
+            v,
+            [
+                lambda u: project_box(u, 0.0, 1.0),
+                lambda u: project_halfspace(u, a, b),
+            ],
+            max_iters=2000,
+        )
+        np.testing.assert_allclose(direct, dyk, atol=1e-5)
+
+
+class TestDykstra:
+    def test_no_projections_identity(self):
+        v = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(alternating_projections(v, []), v)
+
+    def test_intersection_point_is_feasible(self):
+        # box [0,1]^2 intersect {x+y <= 0.5}
+        v = np.array([1.0, 1.0])
+        out = alternating_projections(
+            v,
+            [
+                lambda u: project_box(u, 0.0, 1.0),
+                lambda u: project_halfspace(u, np.ones(2), 0.5),
+            ],
+        )
+        assert np.all((out >= -1e-9) & (out <= 1 + 1e-9))
+        assert out.sum() <= 0.5 + 1e-7
+
+    def test_converges_to_nearest_point(self):
+        # For the symmetric instance above the nearest point is (0.25, 0.25).
+        out = alternating_projections(
+            np.array([1.0, 1.0]),
+            [
+                lambda u: project_box(u, 0.0, 1.0),
+                lambda u: project_halfspace(u, np.ones(2), 0.5),
+            ],
+        )
+        np.testing.assert_allclose(out, [0.25, 0.25], atol=1e-6)
