@@ -13,6 +13,7 @@ EXPERIMENTS.md for the measured-vs-paper discussion.
 
 from __future__ import annotations
 
+import os
 from typing import Dict
 
 import pytest
@@ -23,6 +24,11 @@ from repro.experiments.metrics import Trace
 BENCH_CLIENTS = 20
 BENCH_EPOCHS = 60
 BENCH_BUDGET = 1200.0
+
+# Worker processes for the sweep-engine benches (multi-seed bands, budget
+# sweeps).  Results are bit-identical at any worker count; override with
+# REPRO_SWEEP_WORKERS to pin serial (1) or oversubscribe.
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", str(os.cpu_count() or 1)))
 
 _suite_cache: Dict[tuple, Dict[str, Trace]] = {}
 
@@ -37,6 +43,7 @@ def cached_suite(dataset: str, iid: bool, budget: float = BENCH_BUDGET) -> Dict[
             budget=budget,
             num_clients=BENCH_CLIENTS,
             max_epochs=BENCH_EPOCHS,
+            workers=SWEEP_WORKERS,
         )
     return _suite_cache[key]
 

@@ -9,7 +9,7 @@ with less budget").
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_CLIENTS, BENCH_EPOCHS
+from benchmarks.conftest import BENCH_CLIENTS, BENCH_EPOCHS, SWEEP_WORKERS
 from repro.experiments.figures import budget_sweep
 from repro.experiments.reporting import format_series
 
@@ -26,6 +26,7 @@ def test_fig6_fmnist_budget_impact(benchmark, emit, iid):
             budgets=BUDGETS,
             num_clients=BENCH_CLIENTS,
             max_epochs=BENCH_EPOCHS,
+            workers=SWEEP_WORKERS,
         ),
         rounds=1,
         iterations=1,

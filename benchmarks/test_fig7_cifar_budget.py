@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import BENCH_CLIENTS, BENCH_EPOCHS
+from benchmarks.conftest import BENCH_CLIENTS, BENCH_EPOCHS, SWEEP_WORKERS
 from repro.experiments.figures import budget_sweep
 from repro.experiments.reporting import format_series
 
@@ -19,6 +19,7 @@ def test_fig7_cifar_budget_impact(benchmark, emit, iid):
             budgets=BUDGETS,
             num_clients=BENCH_CLIENTS,
             max_epochs=BENCH_EPOCHS,
+            workers=SWEEP_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -8,6 +8,7 @@ mean, not just in one lucky draw.
 import numpy as np
 import pytest
 
+from benchmarks.conftest import SWEEP_WORKERS
 from repro.experiments.stats import aggregate_on_rounds, multi_seed_suite
 
 SEEDS = (0, 1, 2)
@@ -23,6 +24,7 @@ def test_fig2_orderings_hold_in_the_mean(benchmark, emit):
             budget=800.0,
             num_clients=16,
             max_epochs=40,
+            workers=SWEEP_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -4,11 +4,15 @@ Four subcommands::
 
     python -m repro run      --policy FedL --dataset fmnist --budget 600
     python -m repro compare  --dataset fmnist --budget 1200 [--non-iid]
-    python -m repro sweep    --dataset fmnist --budgets 300 800 2000
+    python -m repro sweep    --dataset fmnist --budgets 300 800 2000 \
+                             --seeds 0 1 2 --workers 4 --cache-dir ~/.cache/repro/sweeps
     python -m repro regret   --horizons 25 50 100
 
 ``run``/``compare``/``sweep`` accept ``--save out.json`` to persist the
-traces (see :mod:`repro.experiments.persistence`).
+traces/results (see :mod:`repro.experiments.persistence`).  ``sweep``
+runs its policies × budgets × seeds grid through the process-parallel
+sweep engine (:mod:`repro.experiments.sweep`) with per-job progress on
+stderr; ``--cache-dir`` makes re-runs serve finished jobs from disk.
 """
 
 from __future__ import annotations
@@ -19,11 +23,18 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.figures import accuracy_vs_time, budget_sweep, run_policy_suite
-from repro.experiments.persistence import save_traces
+from repro.experiments.figures import accuracy_vs_time, run_policy_suite
+from repro.experiments.persistence import save_results, save_traces
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import POLICY_NAMES, experiment_config, make_policy
+from repro.experiments.sweep import (
+    PolicySpec,
+    SweepCache,
+    SweepJob,
+    SweepProgress,
+    run_sweep,
+)
 from repro.experiments.tables import headline_claims
 from repro.rng import RngFactory
 
@@ -62,10 +73,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--chart", action="store_true",
                        help="render an ASCII accuracy-vs-time chart")
 
-    p_swp = sub.add_parser("sweep", help="budget sweep (paper Figs. 6-7)")
+    p_swp = sub.add_parser(
+        "sweep",
+        help="budget sweep (paper Figs. 6-7) on the parallel sweep engine",
+    )
     common(p_swp)
     p_swp.add_argument("--budgets", type=float, nargs="+",
                        default=[300.0, 800.0, 2000.0])
+    p_swp.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="repeat each budget over these seeds "
+                       "(default: just --seed); losses are averaged")
+    p_swp.add_argument("--policies", nargs="+", default=list(POLICY_NAMES),
+                       choices=list(ALL_POLICIES))
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    p_swp.add_argument("--workers", type=positive_int, default=None,
+                       help="worker processes (default: all cores; 1 = serial)")
+    p_swp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                       help="reuse/store per-job results in this directory "
+                       "(a second identical sweep only runs cache misses)")
+    p_swp.add_argument("--no-progress", action="store_true",
+                       help="suppress the per-job progress lines on stderr")
 
     p_reg = sub.add_parser("regret", help="dynamic regret/fit growth check")
     p_reg.add_argument("--horizons", type=int, nargs="+", default=[25, 50, 100])
@@ -141,20 +173,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    series = budget_sweep(
-        args.dataset,
-        iid=not args.non_iid,
-        budgets=args.budgets,
-        seed=args.seed,
-        num_clients=args.clients,
-        max_epochs=args.epochs,
-    )
+    seeds = args.seeds if args.seeds else [args.seed]
+    jobs = []
+    for seed in seeds:
+        for budget in args.budgets:
+            cfg = experiment_config(
+                dataset=args.dataset,
+                iid=not args.non_iid,
+                budget=budget,
+                seed=seed,
+                num_clients=args.clients,
+                min_participants=args.participants,
+                max_epochs=args.epochs,
+            )
+            jobs.extend(
+                SweepJob(policy=PolicySpec(name=name), config=cfg)
+                for name in args.policies
+            )
+
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+
+    def report(event: SweepProgress) -> None:
+        if args.no_progress:
+            return
+        cfg = event.job.config
+        tag = "cache" if event.cached else "ran"
+        print(
+            f"[{event.done:>3}/{event.total}] {event.job.policy.name:<8s} "
+            f"budget={cfg.budget:g} seed={cfg.seed} ({tag})",
+            file=sys.stderr,
+        )
+
+    results = run_sweep(jobs, workers=args.workers, cache=cache, progress=report)
+
+    # Mean final loss per (policy, budget) across seeds.
+    losses: dict = {}
+    for job, res in zip(jobs, results):
+        losses.setdefault(job.policy.name, {}).setdefault(
+            float(job.config.budget), []
+        ).append(res.trace.final_loss)
+    series = {
+        name: [(b, float(np.mean(v))) for b, v in sorted(by_budget.items())]
+        for name, by_budget in losses.items()
+    }
     print(
         format_series(
             series, "budget", "final loss",
             title=f"budget impact — {args.dataset}",
         )
     )
+    if args.save:
+        named = {
+            f"{job.policy.name}[budget={job.config.budget:g},seed={job.config.seed}]": res
+            for job, res in zip(jobs, results)
+        }
+        path = save_results(named, args.save)
+        print(f"saved -> {path}")
     return 0
 
 

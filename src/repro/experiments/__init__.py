@@ -16,7 +16,24 @@ from repro.experiments.tables import (
     headline_claims,
 )
 from repro.experiments.reporting import format_table, format_series
-from repro.experiments.persistence import save_traces, load_traces
+from repro.experiments.persistence import (
+    save_traces,
+    load_traces,
+    save_results,
+    load_results,
+    result_to_dict,
+    result_from_dict,
+    config_to_dict,
+    config_from_dict,
+)
+from repro.experiments.sweep import (
+    PolicySpec,
+    SweepCache,
+    SweepJob,
+    job_key,
+    run_sweep,
+    results_identical,
+)
 from repro.experiments.validation import validate_trace
 from repro.experiments.stats import (
     Band,
@@ -42,6 +59,18 @@ __all__ = [
     "format_series",
     "save_traces",
     "load_traces",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+    "config_to_dict",
+    "config_from_dict",
+    "PolicySpec",
+    "SweepCache",
+    "SweepJob",
+    "job_key",
+    "run_sweep",
+    "results_identical",
     "validate_trace",
     "Band",
     "aggregate_on_rounds",

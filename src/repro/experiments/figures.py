@@ -8,19 +8,22 @@ on the corresponding scenario and returns the plotted series:
 * Figs. 4-5 — test accuracy vs federated round.
 * Figs. 6-7 — final loss vs budget (budget sweep).
 
-The benchmark files under ``benchmarks/`` call these and print the series
-with :func:`repro.experiments.reporting.format_series` so every paper
-figure has a regenerating target (DESIGN.md §4).
+All of them execute through the sweep engine
+(:mod:`repro.experiments.sweep`), so ``workers > 1`` fans the independent
+runs out over a process pool and an optional ``cache`` makes re-runs
+serve from disk — with output bit-identical to the serial loop either
+way.  The benchmark files under ``benchmarks/`` call these and print the
+series with :func:`repro.experiments.reporting.format_series` so every
+paper figure has a regenerating target (DESIGN.md §4).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import Trace
-from repro.experiments.runner import run_experiment
-from repro.experiments.scenarios import POLICY_NAMES, experiment_config, make_policy
-from repro.rng import RngFactory
+from repro.experiments.scenarios import POLICY_NAMES, experiment_config
+from repro.experiments.sweep import PolicySpec, SweepCache, SweepJob, run_sweep
 
 __all__ = [
     "run_policy_suite",
@@ -46,22 +49,21 @@ def run_policy_suite(
     num_clients: int = 30,
     max_epochs: int = 150,
     policies: Sequence[str] = POLICY_NAMES,
+    workers: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> Dict[str, Trace]:
     """Run every policy on identical environments (same seed)."""
-    traces: Dict[str, Trace] = {}
-    for name in policies:
-        cfg = experiment_config(
-            dataset=dataset,
-            iid=iid,
-            budget=budget,
-            seed=seed,
-            num_clients=num_clients,
-            max_epochs=max_epochs,
-        )
-        rng = RngFactory(seed).get(f"policy.{name}")
-        result = run_experiment(make_policy(name, cfg, rng), cfg)
-        traces[name] = result.trace
-    return traces
+    cfg = experiment_config(
+        dataset=dataset,
+        iid=iid,
+        budget=budget,
+        seed=seed,
+        num_clients=num_clients,
+        max_epochs=max_epochs,
+    )
+    jobs = [SweepJob(policy=PolicySpec(name=name), config=cfg) for name in policies]
+    results = run_sweep(jobs, workers=workers, cache=cache)
+    return {job.policy.name: res.trace for job, res in zip(jobs, results)}
 
 
 def accuracy_vs_time(traces: Dict[str, Trace]) -> Series:
@@ -88,21 +90,33 @@ def budget_sweep(
     num_clients: int = 30,
     max_epochs: int = 150,
     policies: Sequence[str] = POLICY_NAMES,
+    workers: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> Series:
-    """Figs. 6-7 series: (budget, final test loss) per policy."""
-    out: Series = {name: [] for name in policies}
+    """Figs. 6-7 series: (budget, final test loss) per policy.
+
+    The whole budgets × policies grid is submitted as one sweep, so the
+    engine can keep every worker busy across budget levels.
+    """
+    jobs: List[SweepJob] = []
     for budget in budgets:
-        traces = run_policy_suite(
-            dataset,
-            iid,
+        cfg = experiment_config(
+            dataset=dataset,
+            iid=iid,
             budget=budget,
             seed=seed,
             num_clients=num_clients,
             max_epochs=max_epochs,
-            policies=policies,
         )
-        for name, tr in traces.items():
-            out[name].append((float(budget), tr.final_loss))
+        jobs.extend(
+            SweepJob(policy=PolicySpec(name=name), config=cfg) for name in policies
+        )
+    results = run_sweep(jobs, workers=workers, cache=cache)
+    out: Series = {name: [] for name in policies}
+    for job, res in zip(jobs, results):
+        out[job.policy.name].append(
+            (float(job.config.budget), res.trace.final_loss)
+        )
     return out
 
 

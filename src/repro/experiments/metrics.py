@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -44,6 +46,32 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def equals(self, other: "Trace") -> bool:
+        """Bitwise trace equality, treating NaN == NaN.
+
+        Plain dataclass ``==`` is wrong here: baselines record ``rho=NaN``
+        and ``NaN != NaN``, so two bit-identical runs would compare
+        unequal.  The determinism and cache tests use this instead.
+        """
+        if not isinstance(other, Trace):
+            return NotImplemented
+        if self.policy_name != other.policy_name or len(self) != len(other):
+            return False
+        for a, b in zip(self.records, other.records):
+            for f in dataclasses.fields(EpochRecord):
+                va, vb = getattr(a, f.name), getattr(b, f.name)
+                if va == vb:
+                    continue
+                if (
+                    isinstance(va, float)
+                    and isinstance(vb, float)
+                    and math.isnan(va)
+                    and math.isnan(vb)
+                ):
+                    continue
+                return False
+        return True
 
     def column(self, name: str) -> np.ndarray:
         """Extract one field across all records as a float array."""

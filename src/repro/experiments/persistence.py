@@ -1,8 +1,13 @@
-"""Saving and loading experiment traces (JSON).
+"""Saving and loading experiment traces and results (JSON).
 
 A downstream user running sweeps wants results on disk; this module
-round-trips :class:`~repro.experiments.metrics.Trace` objects and bundles
-of traces through a stable, versioned JSON schema.
+round-trips :class:`~repro.experiments.metrics.Trace` objects, full
+:class:`~repro.experiments.runner.ExperimentResult` objects (trace +
+config + ``stop_reason`` + ``final_w``), and bundles of either, through a
+stable, versioned JSON schema.  The sweep cache
+(:mod:`repro.experiments.sweep`) keys its entries on these schema
+versions, so bumping a version transparently invalidates stale cache
+entries.
 """
 
 from __future__ import annotations
@@ -12,11 +17,36 @@ import json
 from pathlib import Path
 from typing import Dict, Mapping
 
-from repro.experiments.metrics import EpochRecord, Trace
+import numpy as np
 
-__all__ = ["trace_to_dict", "trace_from_dict", "save_traces", "load_traces"]
+from repro.config import (
+    DataConfig,
+    ExperimentConfig,
+    FedLConfig,
+    NetworkConfig,
+    PopulationConfig,
+    TrainingConfig,
+)
+from repro.experiments.metrics import EpochRecord, Trace
+from repro.experiments.runner import ExperimentResult
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_traces",
+    "load_traces",
+    "config_to_dict",
+    "config_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "load_results",
+    "SCHEMA_VERSION",
+    "RESULT_SCHEMA_VERSION",
+]
 
 SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 1
 
 
 def trace_to_dict(trace: Trace) -> dict:
@@ -57,4 +87,89 @@ def load_traces(path: str | Path) -> Dict[str, Trace]:
         raise ValueError(f"unsupported bundle schema: {payload.get('schema')!r}")
     return {
         name: trace_from_dict(data) for name, data in payload["traces"].items()
+    }
+
+
+# --- ExperimentConfig ---------------------------------------------------------
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """Serialize a full experiment config to plain JSON-ready data.
+
+    Tuples become JSON lists; :func:`config_from_dict` restores them, so
+    the round trip reproduces an ``==``-equal config.
+    """
+    return dataclasses.asdict(config)
+
+
+def _with_tuples(data: Mapping, *keys: str) -> dict:
+    """Copy ``data`` with the named sequence fields coerced back to tuples."""
+    out = dict(data)
+    for key in keys:
+        out[key] = tuple(out[key])
+    return out
+
+
+def config_from_dict(data: Mapping) -> ExperimentConfig:
+    """Inverse of :func:`config_to_dict` (validation re-runs on construction)."""
+    return ExperimentConfig(
+        seed=int(data["seed"]),
+        budget=float(data["budget"]),
+        min_participants=int(data["min_participants"]),
+        max_epochs=int(data["max_epochs"]),
+        network=NetworkConfig(**data["network"]),
+        population=PopulationConfig(
+            **_with_tuples(data["population"], "cycles_per_bit_range", "cost_range")
+        ),
+        data=DataConfig(**data["data"]),
+        training=TrainingConfig(**_with_tuples(data["training"], "hidden_units")),
+        fedl=FedLConfig(**data["fedl"]),
+    )
+
+
+# --- ExperimentResult ---------------------------------------------------------
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Serialize a full experiment result (trace, config, stop, weights)."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "trace": trace_to_dict(result.trace),
+        "config": config_to_dict(result.config),
+        "stop_reason": result.stop_reason,
+        "final_w": np.asarray(result.final_w, dtype=float).tolist(),
+    }
+
+
+def result_from_dict(data: Mapping) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`; validates the schema version."""
+    version = data.get("schema")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema: {version!r}")
+    return ExperimentResult(
+        trace=trace_from_dict(data["trace"]),
+        config=config_from_dict(data["config"]),
+        stop_reason=str(data["stop_reason"]),
+        final_w=np.asarray(data["final_w"], dtype=float),
+    )
+
+
+def save_results(results: Mapping[str, ExperimentResult], path: str | Path) -> Path:
+    """Write a bundle of named experiment results to ``path`` (.json)."""
+    path = Path(path)
+    payload = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "results": {name: result_to_dict(r) for name, r in results.items()},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_results(path: str | Path) -> Dict[str, ExperimentResult]:
+    """Read a bundle written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != RESULT_SCHEMA_VERSION:
+        raise ValueError(f"unsupported bundle schema: {payload.get('schema')!r}")
+    return {
+        name: result_from_dict(data) for name, data in payload["results"].items()
     }

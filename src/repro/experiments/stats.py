@@ -8,12 +8,13 @@ bands on a common grid, for both the time axis and the round axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.figures import run_policy_suite
 from repro.experiments.metrics import Trace
+from repro.experiments.scenarios import POLICY_NAMES, experiment_config
+from repro.experiments.sweep import PolicySpec, SweepCache, SweepJob, run_sweep
 
 __all__ = ["Band", "aggregate_on_rounds", "aggregate_on_times", "multi_seed_suite"]
 
@@ -75,14 +76,33 @@ def multi_seed_suite(
     dataset: str,
     iid: bool,
     seeds: Sequence[int],
-    **suite_kwargs,
+    policies: Sequence[str] = POLICY_NAMES,
+    workers: int = 1,
+    cache: Optional[SweepCache] = None,
+    **config_kwargs,
 ) -> Dict[str, List[Trace]]:
-    """Run :func:`run_policy_suite` once per seed; group traces by policy."""
+    """Run the policy suite once per seed; group traces by policy.
+
+    The whole seeds × policies grid goes through the sweep engine as one
+    call, so ``workers > 1`` parallelizes across seeds and policies at
+    once.  Extra keyword arguments (``budget``, ``num_clients``,
+    ``max_epochs``, ...) are forwarded to
+    :func:`~repro.experiments.scenarios.experiment_config`.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    jobs = [
+        SweepJob(
+            policy=PolicySpec(name=name),
+            config=experiment_config(
+                dataset=dataset, iid=iid, seed=seed, **config_kwargs
+            ),
+        )
+        for seed in seeds
+        for name in policies
+    ]
+    results = run_sweep(jobs, workers=workers, cache=cache)
     out: Dict[str, List[Trace]] = {}
-    for seed in seeds:
-        traces = run_policy_suite(dataset, iid, seed=seed, **suite_kwargs)
-        for name, tr in traces.items():
-            out.setdefault(name, []).append(tr)
+    for job, res in zip(jobs, results):
+        out.setdefault(job.policy.name, []).append(res.trace)
     return out

@@ -1,0 +1,374 @@
+"""Process-parallel sweep engine with content-addressed result caching.
+
+Every figure/table in the paper is a grid of independent
+``run_experiment`` calls (policies × seeds × budgets).  This module turns
+that grid into first-class *jobs* and executes them:
+
+* **in parallel** on a :class:`concurrent.futures.ProcessPoolExecutor`
+  (worker count configurable, default ``os.cpu_count()``), with
+  ``workers=1`` as an in-process serial fallback for debugging;
+* **deterministically** — each job carries its full
+  :class:`~repro.config.ExperimentConfig` and a :class:`PolicySpec`, and
+  the worker re-derives the policy RNG from the config seed via
+  :class:`~repro.rng.RngFactory`, so parallel output is bit-identical to
+  the serial loop regardless of scheduling order;
+* **cached** — an on-disk :class:`SweepCache` keyed by a stable SHA-256
+  content hash of (config, policy spec, schema versions) means a re-run
+  only executes cache misses.
+
+Usage::
+
+    jobs = [SweepJob(PolicySpec("FedL"), cfg) for cfg in configs]
+    results = run_sweep(jobs, workers=4, cache=SweepCache("~/.cache/repro"))
+
+``run_sweep`` also accepts plain ``(policy_name_or_spec, config)`` tuples
+and always returns results in job order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.experiments.persistence import (
+    RESULT_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import make_policy
+from repro.rng import RngFactory
+
+__all__ = [
+    "PolicySpec",
+    "SweepJob",
+    "SweepCache",
+    "SweepProgress",
+    "CACHE_SCHEMA_VERSION",
+    "canonical_hash",
+    "job_fingerprint",
+    "job_key",
+    "execute_job",
+    "run_sweep",
+    "results_identical",
+    "default_cache_dir",
+]
+
+# Bump to invalidate every existing cache entry (e.g. when run_experiment's
+# semantics change in a way the config/schema versions don't capture).
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Picklable description of how to build a selection policy.
+
+    ``rng_stream`` names the :class:`~repro.rng.RngFactory` stream the
+    policy RNG is drawn from; the default (``policy.<name>``) matches the
+    stream :func:`~repro.experiments.figures.run_policy_suite` has always
+    used, so engine runs are bit-compatible with the historical serial
+    loop.
+    """
+
+    name: str
+    iterations: int = 2
+    deadline_s: Optional[float] = None
+    rng_stream: Optional[str] = None
+
+    @property
+    def stream(self) -> str:
+        return self.rng_stream or f"policy.{self.name}"
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of sweep work: a policy on a fully specified experiment."""
+
+    policy: PolicySpec
+    config: ExperimentConfig
+    target_accuracy: Optional[float] = None
+
+
+JobLike = Union[
+    SweepJob,
+    Tuple[Union[str, PolicySpec], ExperimentConfig],
+    Tuple[Union[str, PolicySpec], ExperimentConfig, Optional[float]],
+]
+
+
+def as_job(job: JobLike) -> SweepJob:
+    """Coerce a job-like value (``SweepJob`` or tuple) to a ``SweepJob``."""
+    if isinstance(job, SweepJob):
+        return job
+    if isinstance(job, tuple) and len(job) in (2, 3):
+        policy = job[0]
+        if isinstance(policy, str):
+            policy = PolicySpec(name=policy)
+        target = job[2] if len(job) == 3 else None
+        return SweepJob(policy=policy, config=job[1], target_accuracy=target)
+    raise TypeError(
+        "expected SweepJob or (policy, config[, target_accuracy]) tuple, "
+        f"got {job!r}"
+    )
+
+
+# --- content-addressed cache keys ---------------------------------------------
+
+
+def canonical_hash(obj) -> str:
+    """SHA-256 of the canonical JSON encoding of ``obj``.
+
+    ``sort_keys`` makes the digest independent of dict insertion order, so
+    logically equal payloads hash identically; ``allow_nan=False`` rejects
+    values JSON cannot round-trip exactly.
+    """
+    encoded = json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def job_fingerprint(job: JobLike) -> dict:
+    """The JSON-ready payload a job's cache key is computed from.
+
+    Includes every schema version involved in persisting a result, so a
+    schema bump invalidates old entries instead of deserializing them
+    wrongly.
+    """
+    job = as_job(job)
+    return {
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "result_schema": RESULT_SCHEMA_VERSION,
+        "trace_schema": SCHEMA_VERSION,
+        "config": dataclasses.asdict(job.config),
+        "policy": dataclasses.asdict(job.policy),
+        "target_accuracy": job.target_accuracy,
+    }
+
+
+def job_key(job: JobLike) -> str:
+    """Stable content hash identifying a job's result."""
+    return canonical_hash(job_fingerprint(job))
+
+
+# --- the on-disk cache --------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR/sweeps`` if set, else ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env).expanduser() if env else Path.home() / ".cache" / "repro"
+    return base / "sweeps"
+
+
+class SweepCache:
+    """Directory of ``<job_key>.json`` files holding serialized results.
+
+    Unreadable, corrupt, or schema-stale entries are treated as misses
+    (and overwritten on the next store), never as errors — a cache must
+    not be able to break a sweep.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def default(cls) -> "SweepCache":
+        return cls(default_cache_dir())
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[ExperimentResult]:
+        """Return the cached result for ``key``, or ``None`` on any miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, key: str, job: JobLike, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``key``; the job fingerprint rides along
+        for debuggability.  The write is staged through a temp file so a
+        concurrent reader never sees a half-written entry."""
+        path = self.path_for(key)
+        payload = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "job": job_fingerprint(job),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+# --- execution ----------------------------------------------------------------
+
+
+def execute_job(job: JobLike) -> ExperimentResult:
+    """Materialize and run one job (this is the process-pool entry point).
+
+    The policy RNG is re-derived from the config seed and the spec's
+    stream name, so execution is a pure function of the job value — the
+    foundation of both determinism and cacheability.
+    """
+    job = as_job(job)
+    rng = RngFactory(job.config.seed).get(job.policy.stream)
+    policy = make_policy(
+        job.policy.name,
+        job.config,
+        rng,
+        iterations=job.policy.iterations,
+        deadline_s=job.policy.deadline_s,
+    )
+    return run_experiment(policy, job.config, target_accuracy=job.target_accuracy)
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress event: job ``index`` finished (``done`` of ``total``)."""
+
+    index: int
+    total: int
+    job: SweepJob
+    key: str
+    cached: bool
+    done: int
+
+
+ProgressFn = Callable[[SweepProgress], None]
+
+
+def _copy_result(result: ExperimentResult) -> ExperimentResult:
+    """Independent deep copy via the persistence round trip (exact)."""
+    return result_from_dict(result_to_dict(result))
+
+
+def run_sweep(
+    jobs: Iterable[JobLike],
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[ExperimentResult]:
+    """Run every job, reusing cached results, and return results in job order.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` runs serially
+    in-process (no executor), which is the debugging fallback.  Duplicate
+    jobs (identical content hash) execute once and the extra indices get
+    independent copies.  ``progress`` is called once per finished job with
+    a :class:`SweepProgress` event (from the main process; ordering across
+    parallel jobs follows completion, not submission).
+    """
+    jobs = [as_job(j) for j in jobs]
+    total = len(jobs)
+    if total == 0:
+        return []
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    keys = [job_key(j) for j in jobs]
+    results: List[Optional[ExperimentResult]] = [None] * total
+    done = 0
+
+    def emit(index: int, cached: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(
+                SweepProgress(
+                    index=index,
+                    total=total,
+                    job=jobs[index],
+                    key=keys[index],
+                    cached=cached,
+                    done=done,
+                )
+            )
+
+    if cache is not None:
+        for i, key in enumerate(keys):
+            hit = cache.load(key)
+            if hit is not None:
+                results[i] = hit
+                emit(i, cached=True)
+
+    # Group outstanding indices by key so duplicate jobs run once.
+    pending: Dict[str, List[int]] = {}
+    for i in range(total):
+        if results[i] is None:
+            pending.setdefault(keys[i], []).append(i)
+
+    def install(key: str, result: ExperimentResult) -> None:
+        indices = pending[key]
+        if cache is not None:
+            cache.store(key, jobs[indices[0]], result)
+        for j, i in enumerate(indices):
+            results[i] = result if j == 0 else _copy_result(result)
+            emit(i, cached=False)
+
+    if workers == 1 or len(pending) <= 1:
+        for key in pending:
+            install(key, execute_job(jobs[pending[key][0]]))
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(execute_job, jobs[pending[key][0]]): key
+                for key in pending
+            }
+            for fut in as_completed(futures):
+                install(futures[fut], fut.result())
+
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def results_identical(a: ExperimentResult, b: ExperimentResult) -> bool:
+    """Bitwise result equality (NaN-aware traces, exact weights)."""
+    return (
+        a.stop_reason == b.stop_reason
+        and a.config == b.config
+        and bool(a.trace.equals(b.trace))
+        and bool(np.array_equal(a.final_w, b.final_w))
+    )

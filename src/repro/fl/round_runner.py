@@ -16,7 +16,7 @@ for constraint (3d).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,8 +38,9 @@ class RoundResult:
     test_accuracy: float
     test_loss: float
     eta_max: float                      # max_k η̂_{t,k} over participants (paper eq. 1)
-    upload_ratio: np.ndarray = None     # (M,) mean compressed/full upload size
-                                        # per participant (1.0 for non-participants)
+    upload_ratio: Optional[np.ndarray] = None   # (M,) mean compressed/full upload
+                                        # size per participant (None → filled with
+                                        # ones; 1.0 for non-participants)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "w", np.asarray(self.w, dtype=float))

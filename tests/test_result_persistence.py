@@ -1,0 +1,108 @@
+"""Round-trip tests for ``ExperimentResult`` / config persistence.
+
+Mirrors the existing ``Trace`` persistence tests: exact round trip of
+every field (trace, ``stop_reason``, ``final_w``, config) plus
+schema-version-mismatch rejection.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiments.persistence import (
+    RESULT_SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.experiments.scenarios import experiment_config, paper_scale_config
+from repro.experiments.sweep import PolicySpec, SweepJob, execute_job, results_identical
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    cfg = experiment_config(
+        dataset="fmnist",
+        iid=True,
+        budget=120.0,
+        seed=0,
+        num_clients=8,
+        min_participants=3,
+        max_epochs=3,
+    )
+    return execute_job(SweepJob(PolicySpec("FedAvg"), cfg))
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        cfg = ExperimentConfig()
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_non_default_config_with_tuples(self):
+        cfg = paper_scale_config(dataset="cifar10", iid=False, seed=7)
+        back = config_from_dict(config_to_dict(cfg))
+        assert back == cfg
+        # JSON turns tuples into lists; the loader must turn them back.
+        assert isinstance(back.population.cost_range, tuple)
+        assert isinstance(back.training.hidden_units, tuple)
+
+    def test_round_trip_is_json_safe(self):
+        cfg = ExperimentConfig()
+        assert config_from_dict(json.loads(json.dumps(config_to_dict(cfg)))) == cfg
+
+    def test_validation_reruns_on_load(self):
+        data = config_to_dict(ExperimentConfig())
+        data["budget"] = -1.0
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_is_exact(self, small_result):
+        back = result_from_dict(result_to_dict(small_result))
+        assert results_identical(back, small_result)
+
+    def test_fields_survive(self, small_result):
+        back = result_from_dict(result_to_dict(small_result))
+        assert back.stop_reason == small_result.stop_reason
+        assert back.config == small_result.config
+        np.testing.assert_array_equal(back.final_w, small_result.final_w)
+        assert back.trace.equals(small_result.trace)
+        # rho is NaN for FedAvg records: the NaN must survive the trip.
+        assert np.isnan(back.trace.column("rho")).all()
+
+    def test_json_round_trip_is_exact(self, small_result):
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(small_result))))
+        assert results_identical(back, small_result)
+
+    def test_schema_version_mismatch_rejected(self, small_result):
+        data = result_to_dict(small_result)
+        data["schema"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+    def test_nested_trace_schema_mismatch_rejected(self, small_result):
+        data = result_to_dict(small_result)
+        data["trace"]["schema"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+class TestResultBundles:
+    def test_save_load_bundle(self, tmp_path, small_result):
+        path = save_results({"A": small_result, "B": small_result}, tmp_path / "r.json")
+        loaded = load_results(path)
+        assert set(loaded) == {"A", "B"}
+        for res in loaded.values():
+            assert results_identical(res, small_result)
+
+    def test_bundle_schema_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "results": {}}))
+        with pytest.raises(ValueError):
+            load_results(path)

@@ -1,0 +1,39 @@
+"""Regression tests for ``RoundResult`` defaults and annotations."""
+
+from typing import Optional, get_type_hints
+
+import numpy as np
+
+from repro.fl.round_runner import RoundResult
+
+
+def make_result(**overrides):
+    kwargs = dict(
+        w=np.zeros(3),
+        iterations=2,
+        local_etas=np.array([0.1, np.nan, 0.3, 0.2]),
+        participant_loss=1.0,
+        population_loss=1.1,
+        test_accuracy=0.5,
+        test_loss=0.9,
+        eta_max=0.3,
+    )
+    kwargs.update(overrides)
+    return RoundResult(**kwargs)
+
+
+def test_upload_ratio_defaults_to_ones_of_client_shape():
+    result = make_result()
+    assert result.upload_ratio.shape == result.local_etas.shape
+    np.testing.assert_array_equal(result.upload_ratio, np.ones(4))
+
+
+def test_upload_ratio_annotation_is_optional():
+    hints = get_type_hints(RoundResult)
+    assert hints["upload_ratio"] == Optional[np.ndarray]
+
+
+def test_explicit_upload_ratio_is_kept_and_coerced():
+    result = make_result(upload_ratio=[0.5, 1.0, 0.25, 1.0])
+    assert isinstance(result.upload_ratio, np.ndarray)
+    np.testing.assert_array_equal(result.upload_ratio, [0.5, 1.0, 0.25, 1.0])

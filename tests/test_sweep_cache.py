@@ -1,0 +1,208 @@
+"""Property tests for the sweep cache and its content-addressed keys.
+
+Three invariants (ISSUE 1):
+
+1. the key is a function of job *content*, not dict/field ordering;
+2. the key changes whenever any config field or policy-spec field changes;
+3. a cache hit returns a result equal to a fresh run, without re-executing
+   ``run_experiment``.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.experiments.sweep as sweep_mod
+from repro.experiments.scenarios import experiment_config
+from repro.experiments.sweep import (
+    CACHE_SCHEMA_VERSION,
+    PolicySpec,
+    SweepCache,
+    SweepJob,
+    canonical_hash,
+    job_fingerprint,
+    job_key,
+    results_identical,
+    run_sweep,
+)
+
+
+def tiny_config(seed=0, **overrides):
+    cfg = experiment_config(
+        dataset="fmnist",
+        iid=True,
+        budget=120.0,
+        seed=seed,
+        num_clients=8,
+        min_participants=3,
+        max_epochs=3,
+    )
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return cfg
+
+
+def base_job(**spec_overrides) -> SweepJob:
+    return SweepJob(PolicySpec("FedL", **spec_overrides), tiny_config())
+
+
+def _reorder(obj, rnd: random.Random):
+    """Rebuild nested dicts with shuffled key insertion order."""
+    if isinstance(obj, dict):
+        keys = list(obj)
+        rnd.shuffle(keys)
+        return {k: _reorder(obj[k], rnd) for k in keys}
+    if isinstance(obj, list):
+        return [_reorder(v, rnd) for v in obj]
+    return obj
+
+
+class TestKeyStability:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_key_invariant_under_dict_ordering(self, shuffle_seed):
+        fp = job_fingerprint(base_job())
+        shuffled = _reorder(fp, random.Random(shuffle_seed))
+        assert canonical_hash(shuffled) == canonical_hash(fp)
+
+    def test_key_stable_across_equal_jobs(self):
+        assert job_key(base_job()) == job_key(base_job())
+
+    def test_tuple_jobs_hash_like_sweep_jobs(self):
+        assert job_key(("FedL", tiny_config())) == job_key(base_job())
+
+
+# Mutations covering every layer of the job: top-level config, each nested
+# config group, the policy spec, and the target.  Each must move the key.
+MUTATIONS = {
+    "seed": lambda j: replace(j, config=j.config.replace(seed=99)),
+    "budget": lambda j: replace(j, config=j.config.replace(budget=121.0)),
+    "max_epochs": lambda j: replace(j, config=j.config.replace(max_epochs=4)),
+    "min_participants": lambda j: replace(
+        j, config=j.config.replace(min_participants=4)
+    ),
+    "network.bandwidth_hz": lambda j: replace(
+        j, config=j.config.replace(network=replace(j.config.network, bandwidth_hz=10e6))
+    ),
+    "population.failure_prob": lambda j: replace(
+        j,
+        config=j.config.replace(
+            population=replace(j.config.population, failure_prob=0.2)
+        ),
+    ),
+    "population.availability_model": lambda j: replace(
+        j,
+        config=j.config.replace(
+            population=replace(j.config.population, availability_model="markov")
+        ),
+    ),
+    "data.iid": lambda j: replace(
+        j, config=j.config.replace(data=replace(j.config.data, iid=False))
+    ),
+    "training.sgd_lr": lambda j: replace(
+        j, config=j.config.replace(training=replace(j.config.training, sgd_lr=0.06))
+    ),
+    "fedl.rho_max": lambda j: replace(
+        j, config=j.config.replace(fedl=replace(j.config.fedl, rho_max=9.0))
+    ),
+    "policy.name": lambda j: replace(j, policy=replace(j.policy, name="FedAvg")),
+    "policy.iterations": lambda j: replace(
+        j, policy=replace(j.policy, iterations=3)
+    ),
+    "policy.deadline_s": lambda j: replace(
+        j, policy=replace(j.policy, deadline_s=1.5)
+    ),
+    "policy.rng_stream": lambda j: replace(
+        j, policy=replace(j.policy, rng_stream="policy.other")
+    ),
+    "target_accuracy": lambda j: replace(j, target_accuracy=0.9),
+}
+
+
+class TestKeySensitivity:
+    @pytest.mark.parametrize("field", sorted(MUTATIONS))
+    def test_key_changes_with_field(self, field):
+        job = base_job()
+        assert job_key(MUTATIONS[field](job)) != job_key(job)
+
+    @given(
+        seed_a=st.integers(0, 2**31 - 1),
+        seed_b=st.integers(0, 2**31 - 1),
+        budget_a=st.floats(1.0, 1e6, allow_nan=False, allow_infinity=False),
+        budget_b=st.floats(1.0, 1e6, allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_key_equality_tracks_job_equality(self, seed_a, seed_b, budget_a, budget_b):
+        a = SweepJob(PolicySpec("FedAvg"), tiny_config(seed=seed_a, budget=budget_a))
+        b = SweepJob(PolicySpec("FedAvg"), tiny_config(seed=seed_b, budget=budget_b))
+        assert (job_key(a) == job_key(b)) == (a == b)
+
+
+class TestCacheRoundTrip:
+    def jobs(self):
+        return [
+            SweepJob(PolicySpec("FedAvg"), tiny_config()),
+            SweepJob(PolicySpec("FedL"), tiny_config(seed=1)),
+        ]
+
+    def test_hit_equals_fresh_run(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        first_events, second_events = [], []
+        first = run_sweep(self.jobs(), workers=1, cache=cache,
+                          progress=first_events.append)
+        second = run_sweep(self.jobs(), workers=1, cache=cache,
+                           progress=second_events.append)
+        fresh = run_sweep(self.jobs(), workers=1)
+        assert [e.cached for e in first_events] == [False, False]
+        assert [e.cached for e in second_events] == [True, True]
+        for a, b, c in zip(first, second, fresh):
+            assert results_identical(a, b)
+            assert results_identical(b, c)
+
+    def test_full_hit_never_calls_run_experiment(self, tmp_path, monkeypatch):
+        cache = SweepCache(tmp_path / "cache")
+        jobs = self.jobs()
+        warm = run_sweep(jobs, workers=1, cache=cache)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("run_experiment executed on a full cache hit")
+
+        monkeypatch.setattr(sweep_mod, "run_experiment", boom)
+        served = run_sweep(jobs, workers=1, cache=cache)
+        for a, b in zip(warm, served):
+            assert results_identical(a, b)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        jobs = self.jobs()
+        run_sweep(jobs, workers=1, cache=cache)
+        for path in cache.root.glob("*.json"):
+            path.write_text("{not json")
+        events = []
+        rerun = run_sweep(jobs, workers=1, cache=cache, progress=events.append)
+        assert [e.cached for e in events] == [False, False]
+        assert all(r is not None for r in rerun)
+
+    def test_stale_cache_schema_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        jobs = self.jobs()
+        run_sweep(jobs, workers=1, cache=cache)
+        import json
+
+        for path in cache.root.glob("*.json"):
+            payload = json.loads(path.read_text())
+            payload["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+            path.write_text(json.dumps(payload))
+        events = []
+        run_sweep(jobs, workers=1, cache=cache, progress=events.append)
+        assert [e.cached for e in events] == [False, False]
+
+    def test_clear_and_len(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        run_sweep(self.jobs(), workers=1, cache=cache)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
