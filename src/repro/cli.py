@@ -1,28 +1,40 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
-    python -m repro run      --policy FedL --dataset fmnist --budget 600
+    python -m repro run      --policy FedL --dataset fmnist --budget 600 \
+                             [--telemetry out/trace]
     python -m repro compare  --dataset fmnist --budget 1200 [--non-iid]
     python -m repro sweep    --dataset fmnist --budgets 300 800 2000 \
-                             --seeds 0 1 2 --workers 4 --cache-dir ~/.cache/repro/sweeps
+                             --seeds 0 1 2 --workers 4 [--telemetry out/trace] \
+                             --cache-dir ~/.cache/repro/sweeps
+    python -m repro trace    out/trace [--run PREFIX]
     python -m repro regret   --horizons 25 50 100
 
 ``run``/``compare``/``sweep`` accept ``--save out.json`` to persist the
 traces/results (see :mod:`repro.experiments.persistence`).  ``sweep``
 runs its policies × budgets × seeds grid through the process-parallel
 sweep engine (:mod:`repro.experiments.sweep`) with per-job progress on
-stderr; ``--cache-dir`` makes re-runs serve finished jobs from disk.
+stderr (``--quiet`` silences it); ``--cache-dir`` makes re-runs serve
+finished jobs from disk.  ``--telemetry DIR`` records a structured JSONL
+event trace plus a ``manifest.json`` (see :mod:`repro.obs`) that
+``repro trace DIR`` renders as timing tables and controller
+trajectories.
+
+Exit codes: 0 on success, 2 on argument errors (both argparse failures
+and semantic validation like non-positive budgets), 1 on runtime errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import __version__
 from repro.experiments.figures import accuracy_vs_time, run_policy_suite
 from repro.experiments.persistence import save_results, save_traces
 from repro.experiments.reporting import format_series, format_table
@@ -36,11 +48,20 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 from repro.experiments.tables import headline_claims
+from repro.obs import Telemetry, render_trace, use_telemetry
 from repro.rng import RngFactory
 
 __all__ = ["main", "build_parser"]
 
 ALL_POLICIES = POLICY_NAMES + ("Fair-FedL", "UCB", "Oracle")
+
+#: Exit code for argument/usage errors (matches argparse's own).
+EXIT_USAGE = 2
+
+
+def _usage_error(message: str) -> int:
+    print(f"repro: error: {message}", file=sys.stderr)
+    return EXIT_USAGE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="FedL reproduction: online client selection for "
         "federated edge learning under budget constraint (ICPP '22).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -64,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_run)
     p_run.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_run.add_argument("--budget", type=float, default=800.0)
+    p_run.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="record a structured JSONL event trace + manifest "
+                       "into DIR (render it with `repro trace DIR`)")
 
     p_cmp = sub.add_parser("compare", help="run the four-policy paper suite")
     common(p_cmp)
@@ -96,8 +123,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                        help="reuse/store per-job results in this directory "
                        "(a second identical sweep only runs cache misses)")
-    p_swp.add_argument("--no-progress", action="store_true",
+    p_swp.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="record per-job/worker JSONL event traces + a "
+                       "merged manifest into DIR")
+    p_swp.add_argument("--quiet", "--no-progress", dest="quiet",
+                       action="store_true",
                        help="suppress the per-job progress lines on stderr")
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="render a recorded --telemetry directory (timing tables, "
+        "dual/regret/fit trajectories)",
+    )
+    p_trc.add_argument("directory", type=str, metavar="DIR")
+    p_trc.add_argument("--run", type=str, default=None, metavar="PREFIX",
+                       help="only render trajectories for run ids matching "
+                       "this prefix")
+    p_trc.add_argument("--no-chart", action="store_true",
+                       help="skip the ASCII chart (sparklines only)")
 
     p_reg = sub.add_parser("regret", help="dynamic regret/fit growth check")
     p_reg.add_argument("--horizons", type=int, nargs="+", default=[25, 50, 100])
@@ -105,7 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_common(args: argparse.Namespace) -> Optional[str]:
+    """Semantic argument validation shared by run/compare/sweep."""
+    if args.clients < 1:
+        return "--clients must be >= 1"
+    if args.participants < 1 or args.participants > args.clients:
+        return "--participants must be in [1, --clients]"
+    if args.epochs < 1:
+        return "--epochs must be >= 1"
+    budgets = getattr(args, "budgets", None)
+    if budgets is not None and any(b <= 0 for b in budgets):
+        return "--budgets must all be positive"
+    budget = getattr(args, "budget", None)
+    if budget is not None and budget <= 0:
+        return "--budget must be positive"
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    error = _validate_common(args)
+    if error:
+        return _usage_error(error)
     cfg = experiment_config(
         dataset=args.dataset,
         iid=not args.non_iid,
@@ -116,7 +179,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_epochs=args.epochs,
     )
     policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
-    result = run_experiment(policy, cfg)
+    hub = (
+        Telemetry.for_directory(
+            args.telemetry, run_id=f"{args.policy}[seed={args.seed}]"
+        )
+        if args.telemetry
+        else None
+    )
+    with use_telemetry(hub):
+        result = run_experiment(policy, cfg)
+    if hub is not None:
+        hub.finalize(
+            meta={"command": "run", "policy": args.policy, "seed": args.seed}
+        )
+        print(f"telemetry -> {args.telemetry}", file=sys.stderr)
     tr = result.trace
     print(f"policy={tr.policy_name} epochs={len(tr)} stop={result.stop_reason}")
     print(
@@ -130,6 +206,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    error = _validate_common(args)
+    if error:
+        return _usage_error(error)
     traces = run_policy_suite(
         args.dataset,
         iid=not args.non_iid,
@@ -173,7 +252,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    error = _validate_common(args)
+    if error:
+        return _usage_error(error)
     seeds = args.seeds if args.seeds else [args.seed]
+    if not seeds:
+        return _usage_error("--seeds must name at least one seed")
     jobs = []
     for seed in seeds:
         for budget in args.budgets:
@@ -193,18 +277,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     cache = SweepCache(args.cache_dir) if args.cache_dir else None
 
+    # Progress and structured events share the telemetry hub: with
+    # --telemetry the hub also records the JSONL trace, otherwise it only
+    # echoes progress lines; --quiet silences the echo either way.
+    progress_stream = None if args.quiet else sys.stderr
+    if args.telemetry:
+        hub = Telemetry.for_directory(
+            args.telemetry, run_id="sweep", progress_stream=progress_stream
+        )
+    else:
+        hub = Telemetry(progress_stream=progress_stream)
+
     def report(event: SweepProgress) -> None:
-        if args.no_progress:
-            return
         cfg = event.job.config
         tag = "cache" if event.cached else "ran"
-        print(
+        hub.progress(
             f"[{event.done:>3}/{event.total}] {event.job.policy.name:<8s} "
-            f"budget={cfg.budget:g} seed={cfg.seed} ({tag})",
-            file=sys.stderr,
+            f"budget={cfg.budget:g} seed={cfg.seed} ({tag})"
         )
 
-    results = run_sweep(jobs, workers=args.workers, cache=cache, progress=report)
+    results = run_sweep(
+        jobs, workers=args.workers, cache=cache, progress=report, telemetry=hub
+    )
+    if args.telemetry:
+        hub.finalize(
+            meta={
+                "command": "sweep",
+                "jobs": len(jobs),
+                "policies": list(args.policies),
+                "budgets": [float(b) for b in args.budgets],
+                "seeds": [int(s) for s in seeds],
+            }
+        )
+        print(f"telemetry -> {args.telemetry}", file=sys.stderr)
+    else:
+        hub.close()
 
     # Mean final loss per (policy, budget) across seeds.
     losses: dict = {}
@@ -229,6 +336,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         }
         path = save_results(named, args.save)
         print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    directory = Path(args.directory).expanduser()
+    if not directory.is_dir():
+        return _usage_error(f"not a telemetry directory: {directory}")
+    if not any(directory.glob("events*.jsonl")):
+        return _usage_error(f"no events*.jsonl files under {directory}")
+    print(render_trace(directory, run=args.run, chart=not args.no_chart))
     return 0
 
 
@@ -281,6 +398,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
         "regret": _cmd_regret,
     }
     return handlers[args.command](args)

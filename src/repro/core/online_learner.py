@@ -18,11 +18,14 @@ State: the fractional decision ``Φ̃_t`` and the Lagrange multiplier
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.phi import Phi
 from repro.core.problem import EpochInputs, FedLProblem
+from repro.obs import get_telemetry
 from repro.solvers.interior_point import solve_interior_point
 from repro.solvers.projected_gradient import projected_gradient
 
@@ -91,6 +94,17 @@ class OnlineLearner:
         if h.shape != self.state.mu.shape:
             raise ValueError("h must have M+1 entries")
         self.state.mu = np.maximum(self.state.mu + self.delta * h, 0.0)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(
+                "learner.ascent",
+                data={
+                    "mu": self.state.mu,
+                    "h": h,
+                    "mu_max": float(self.state.mu.max()),
+                    "fit_increment": float(np.maximum(h, 0.0).sum()),
+                },
+            )
         return self.state.mu
 
     # -- eq. (8): modified descent step --------------------------------------------
@@ -122,6 +136,8 @@ class OnlineLearner:
                 + (v - v_prev) / self.beta
             )
 
+        tel = get_telemetry()
+        t0 = time.perf_counter() if tel.enabled else 0.0
         if self.solver == "projected_gradient":
             res = projected_gradient(
                 objective,
@@ -154,6 +170,26 @@ class OnlineLearner:
         lo, hi = problem.box_bounds()
         v_new = np.clip(v_new, lo, hi)
         self.state.phi = Phi.from_vector(v_new)
+        if tel.enabled:
+            dt = time.perf_counter() - t0
+            tel.registry.record_timer(f"solver.{self.solver}", dt)
+            residual = (
+                res.grad_norm if self.solver == "projected_gradient" else res.barrier_mu
+            )
+            tel.emit(
+                "learner.descent",
+                data={
+                    "solver": self.solver,
+                    "iterations": int(res.iterations),
+                    "converged": bool(res.converged),
+                    "residual": float(residual),
+                    "objective": problem.f(self.state.phi),
+                    "rho": self.state.phi.rho,
+                    "x_sum": float(self.state.phi.x.sum()),
+                    "budget_headroom": float(inputs.remaining_budget),
+                },
+                dur=dt,
+            )
         return self.state.phi
 
     # -- accessors ---------------------------------------------------------------

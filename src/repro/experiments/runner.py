@@ -49,6 +49,7 @@ from repro.fl.compression import CompressionSpec
 from repro.fl.privacy import DPSpec, PrivacyAccountant
 from repro.net import ChannelModel, achievable_rate, compute_latency, transmission_latency
 from repro.nn import build_model
+from repro.obs import get_telemetry
 from repro.rng import RngFactory
 
 __all__ = ["Simulation", "ExperimentResult", "run_experiment"]
@@ -279,6 +280,18 @@ def run_experiment(
     sim = simulation if simulation is not None else Simulation(config)
     m = config.population.num_clients
     trace = Trace(policy_name=getattr(policy, "name", type(policy).__name__))
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.emit(
+            "run.start",
+            data={
+                "policy": trace.policy_name,
+                "budget": config.budget,
+                "max_epochs": config.max_epochs,
+                "num_clients": m,
+                "seed": config.seed,
+            },
+        )
     remaining = config.budget
     cumulative_time = 0.0
     # Prior latency estimate before anything is observed: mean data volume,
@@ -292,6 +305,8 @@ def run_experiment(
     final_w = sim.server.w.copy()
 
     for t in range(config.max_epochs):
+        if tel.enabled:
+            tel.set_epoch(t)
         available = sim.availability.sample()
         costs = sim.prices.step()
         counts = sim.volumes.sample()
@@ -300,6 +315,14 @@ def run_experiment(
         for k in np.flatnonzero(available):
             sim.clients[k].set_data(sim.streams[k].draw(int(counts[k])))
 
+        if tel.enabled:
+            tel.emit(
+                "epoch.start",
+                data={
+                    "num_available": int(available.sum()),
+                    "remaining_budget": remaining,
+                },
+            )
         tau_oracle = sim.realized_tau(counts, channel_state, config.min_participants)
         ctx = EpochContext(
             t=t,
@@ -311,7 +334,8 @@ def run_experiment(
             local_losses=local_losses,
             tau_oracle=tau_oracle,
         )
-        decision: Decision = policy.select(ctx)
+        with tel.timer("experiment.select"):
+            decision: Decision = policy.select(ctx)
         sel = decision.selected & available
         if int(sel.sum()) < 1:
             stop_reason = "no_selection"
@@ -320,6 +344,17 @@ def run_experiment(
         if cost > remaining + 1e-9:
             stop_reason = "budget_exhausted"
             break
+        if tel.enabled:
+            tel.emit(
+                "epoch.decision",
+                data={
+                    "selected": np.flatnonzero(sel),
+                    "num_selected": int(sel.sum()),
+                    "iterations": decision.iterations,
+                    "rho": decision.rho,
+                    "cost": cost,
+                },
+            )
 
         # Failure injection: rented clients may crash mid-round.  Rent is
         # still charged (the rental happened); the crashed clients' updates
@@ -353,19 +388,20 @@ def run_experiment(
         # (fractional ρ when the policy provides one, else the integer l_t).
         rho_eff = decision.rho if np.isfinite(decision.rho) else float(decision.iterations)
         target_eta = max(0.0, 1.0 - 1.0 / max(rho_eff, 1.0))
-        result = run_federated_round(
-            sim.server,
-            sim.clients,
-            contributors,
-            available,
-            iterations=decision.iterations,
-            target_eta=target_eta,
-            aggregation=config.training.aggregation,
-            compression=sim.compression,
-            dp_spec=sim.dp_spec,
-            dp_rng=sim.rng.get("fl.dp"),
-            dp_accountant=sim.dp_accountant,
-        )
+        with tel.timer("experiment.round"):
+            result = run_federated_round(
+                sim.server,
+                sim.clients,
+                contributors,
+                available,
+                iterations=decision.iterations,
+                target_eta=target_eta,
+                aggregation=config.training.aggregation,
+                compression=sim.compression,
+                dp_spec=sim.dp_spec,
+                dp_rng=sim.rng.get("fl.dp"),
+                dp_accountant=sim.dp_accountant,
+            )
         final_w = result.w
         # Realized latencies: the band was shared by the actual uploaders
         # (crashed clients never finished; quorum stragglers' uploads are
@@ -407,6 +443,19 @@ def run_experiment(
                 num_failed=int(sel.sum()) - int(survivors.sum()),
             )
         )
+        if tel.enabled:
+            tel.emit(
+                "epoch.complete",
+                data={
+                    "test_accuracy": result.test_accuracy,
+                    "test_loss": result.test_loss,
+                    "population_loss": result.population_loss,
+                    "epoch_latency": epoch_latency,
+                    "cumulative_time": cumulative_time,
+                    "remaining_budget": remaining,
+                    "num_failed": int(sel.sum()) - int(survivors.sum()),
+                },
+            )
         policy.update(
             RoundFeedback(
                 t=t,
@@ -429,6 +478,19 @@ def run_experiment(
             stop_reason = "budget_exhausted"
             break
 
+    if tel.enabled:
+        tel.set_epoch(None)
+        tel.emit(
+            "run.complete",
+            data={
+                "stop_reason": stop_reason,
+                "epochs": len(trace),
+                "final_accuracy": (
+                    trace.final_accuracy if len(trace) else None
+                ),
+                "total_spend": trace.total_spend,
+            },
+        )
     return ExperimentResult(
         trace=trace, config=config, stop_reason=stop_reason, final_w=final_w
     )

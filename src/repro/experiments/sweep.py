@@ -55,6 +55,7 @@ from repro.experiments.persistence import (
 )
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import make_policy
+from repro.obs import Telemetry, get_telemetry, set_telemetry, use_telemetry
 from repro.rng import RngFactory
 
 __all__ = [
@@ -265,6 +266,55 @@ def execute_job(job: JobLike) -> ExperimentResult:
     return run_experiment(policy, job.config, target_accuracy=job.target_accuracy)
 
 
+# -- telemetry plumbing --------------------------------------------------------
+#
+# Telemetry never changes what a job computes (instrumentation reads no
+# RNG and touches no result), so the cache key is unaffected and traced
+# sweeps stay bit-identical to untraced ones.
+
+
+def _job_run_id(job: SweepJob, key: str) -> str:
+    """Human-readable per-job run id used to scope worker events."""
+    return (
+        f"{job.policy.name}[budget={job.config.budget:g},"
+        f"seed={job.config.seed}]#{key[:8]}"
+    )
+
+
+def _worker_init(telemetry_dir: Optional[str]) -> None:
+    """Pool initializer: give each worker its own hub (or the null hub).
+
+    Replacing the inherited hub is mandatory — a forked worker would
+    otherwise write into the parent's open event file.
+    """
+    if telemetry_dir is None:
+        set_telemetry(None)
+    else:
+        set_telemetry(
+            Telemetry.for_directory(
+                telemetry_dir, run_id="sweep", worker=f"w{os.getpid()}"
+            )
+        )
+
+
+def _traced_execute(job: SweepJob, key: str) -> ExperimentResult:
+    """Worker/serial entry point: run one job under its run scope.
+
+    The job is timed as ``sweep.job`` (per-worker utilization in the
+    manifest) and the worker's cumulative registry snapshot is re-dumped
+    after every job so a crashed worker still leaves its last state.
+    """
+    hub = get_telemetry()
+    if not hub.enabled:
+        return execute_job(job)
+    with hub.run_scope(_job_run_id(job, key)):
+        with hub.timer("sweep.job"):
+            result = execute_job(job)
+    hub.dump_worker_snapshot()
+    hub.flush()
+    return result
+
+
 @dataclass(frozen=True)
 class SweepProgress:
     """One progress event: job ``index`` finished (``done`` of ``total``)."""
@@ -290,6 +340,7 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
     progress: Optional[ProgressFn] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[ExperimentResult]:
     """Run every job, reusing cached results, and return results in job order.
 
@@ -299,6 +350,13 @@ def run_sweep(
     independent copies.  ``progress`` is called once per finished job with
     a :class:`SweepProgress` event (from the main process; ordering across
     parallel jobs follows completion, not submission).
+
+    ``telemetry`` is the sweep-level hub: it receives ``sweep.start`` /
+    per-job ``sweep.job`` (cache hit/miss) / ``sweep.complete`` events
+    and, when it has a trace directory, each pool worker opens its own
+    ``events-w<pid>.jsonl`` there plus a registry snapshot the caller's
+    :meth:`~repro.obs.Telemetry.finalize` merges into the manifest.
+    Telemetry never alters results or cache keys.
     """
     jobs = [as_job(j) for j in jobs]
     total = len(jobs)
@@ -308,20 +366,40 @@ def run_sweep(
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    tel = telemetry if telemetry is not None else get_telemetry()
 
     keys = [job_key(j) for j in jobs]
     results: List[Optional[ExperimentResult]] = [None] * total
     done = 0
+    cache_hits = 0
+    tel.emit(
+        "sweep.start",
+        data={"jobs": total, "workers": workers, "cached_backend": cache is not None},
+    )
 
     def emit(index: int, cached: bool) -> None:
         nonlocal done
         done += 1
+        job = jobs[index]
+        tel.emit(
+            "sweep.job",
+            data={
+                "index": index,
+                "key": keys[index][:16],
+                "policy": job.policy.name,
+                "budget": job.config.budget,
+                "seed": job.config.seed,
+                "cached": cached,
+                "done": done,
+                "total": total,
+            },
+        )
         if progress is not None:
             progress(
                 SweepProgress(
                     index=index,
                     total=total,
-                    job=jobs[index],
+                    job=job,
                     key=keys[index],
                     cached=cached,
                     done=done,
@@ -333,6 +411,8 @@ def run_sweep(
             hit = cache.load(key)
             if hit is not None:
                 results[i] = hit
+                cache_hits += 1
+                tel.counter("sweep.cache_hits")
                 emit(i, cached=True)
 
     # Group outstanding indices by key so duplicate jobs run once.
@@ -345,22 +425,43 @@ def run_sweep(
         indices = pending[key]
         if cache is not None:
             cache.store(key, jobs[indices[0]], result)
+        tel.counter("sweep.cache_misses")
         for j, i in enumerate(indices):
             results[i] = result if j == 0 else _copy_result(result)
             emit(i, cached=False)
 
+    telemetry_dir = (
+        str(tel.directory) if tel.enabled and tel.directory is not None else None
+    )
     if workers == 1 or len(pending) <= 1:
-        for key in pending:
-            install(key, execute_job(jobs[pending[key][0]]))
+        # Serial fallback runs in-process: install the sweep hub so the
+        # jobs' own instrumentation lands in the same trace.
+        with use_telemetry(tel):
+            for key in pending:
+                install(key, _traced_execute(jobs[pending[key][0]], key))
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        # The initializer always replaces the inherited hub, so forked
+        # workers either trace into their own files or stay silent.
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_worker_init,
+            initargs=(telemetry_dir,),
+        ) as pool:
             futures = {
-                pool.submit(execute_job, jobs[pending[key][0]]): key
+                pool.submit(_traced_execute, jobs[pending[key][0]], key): key
                 for key in pending
             }
             for fut in as_completed(futures):
                 install(futures[fut], fut.result())
 
+    tel.emit(
+        "sweep.complete",
+        data={
+            "jobs": total,
+            "cache_hits": cache_hits,
+            "executed": len(pending),
+        },
+    )
     return results  # type: ignore[return-value]  # every slot is filled
 
 

@@ -21,7 +21,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.fl.client import FLClient
+from repro.fl.compression import FLOAT_BITS, compress_update
+from repro.fl.privacy import gaussian_mechanism
 from repro.fl.server import FLServer
+from repro.obs import get_telemetry
 
 __all__ = ["RoundResult", "run_federated_round"]
 
@@ -93,6 +96,7 @@ def run_federated_round(
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
 
+    tel = get_telemetry()
     num_available = int(avail.sum())
     # Initial aggregated gradient at the incoming model.
     global_grad = FLServer.aggregate_gradients(
@@ -100,54 +104,58 @@ def run_federated_round(
     )
     eta_by_client: Dict[int, float] = {}
     ratio_sum = np.zeros(len(clients))
+    compressed_bits = 0.0
+    full_bits = 0.0
     prev_global_delta: np.ndarray | None = None
     for _ in range(iterations):
         w_broadcast = server.w.copy()
         updates: List[np.ndarray] = []
-        for client in participants:
-            d, eta_hat, _ = client.train_iteration(
-                w_broadcast, global_grad, target_eta=target_eta
-            )
-            if dp_spec is not None:
-                # DP first (clip + noise on the raw update, [29] defense),
-                # then any compression of the privatized payload.
-                from repro.fl.privacy import gaussian_mechanism
-
-                gen = dp_rng if dp_rng is not None else client.rng
-                d = gaussian_mechanism(d, dp_spec, gen)
-                if dp_accountant is not None:
-                    dp_accountant.spend(dp_spec)
-            if compression is not None and compression.scheme != "none":
-                from repro.fl.compression import FLOAT_BITS, compress_update
-
-                comp = compress_update(
-                    d,
-                    compression.scheme,
-                    global_direction=prev_global_delta,
-                    topk_fraction=compression.topk_fraction,
-                    quantize_bits=compression.quantize_bits,
-                    cmfl_threshold=compression.cmfl_threshold,
+        with tel.timer("round.local_solve"):
+            for client in participants:
+                d, eta_hat, _ = client.train_iteration(
+                    w_broadcast, global_grad, target_eta=target_eta
                 )
-                ratio_sum[client.client_id] += comp.bits / (d.size * FLOAT_BITS)
-                d = comp.vector
-            else:
-                ratio_sum[client.client_id] += 1.0
-            updates.append(d)
-            prev = eta_by_client.get(client.client_id, 0.0)
-            eta_by_client[client.client_id] = max(prev, eta_hat)
-        server.aggregate_updates(
-            updates,
-            num_available=num_available,
-            sample_counts=(
-                [c.num_samples for c in participants]
-                if aggregation == "weighted"
-                else None
-            ),
-        )
-        prev_global_delta = server.w - w_broadcast
-        global_grad = FLServer.aggregate_gradients(
-            [c.local_grad(server.w) for c in participants]
-        )
+                if dp_spec is not None:
+                    # DP first (clip + noise on the raw update, [29]
+                    # defense), then any compression of the privatized
+                    # payload.
+                    gen = dp_rng if dp_rng is not None else client.rng
+                    d = gaussian_mechanism(d, dp_spec, gen)
+                    if dp_accountant is not None:
+                        dp_accountant.spend(dp_spec)
+                if compression is not None and compression.scheme != "none":
+                    comp = compress_update(
+                        d,
+                        compression.scheme,
+                        global_direction=prev_global_delta,
+                        topk_fraction=compression.topk_fraction,
+                        quantize_bits=compression.quantize_bits,
+                        cmfl_threshold=compression.cmfl_threshold,
+                    )
+                    ratio_sum[client.client_id] += comp.bits / (d.size * FLOAT_BITS)
+                    compressed_bits += comp.bits
+                    d = comp.vector
+                else:
+                    ratio_sum[client.client_id] += 1.0
+                    compressed_bits += d.size * FLOAT_BITS
+                full_bits += d.size * FLOAT_BITS
+                updates.append(d)
+                prev = eta_by_client.get(client.client_id, 0.0)
+                eta_by_client[client.client_id] = max(prev, eta_hat)
+        with tel.timer("round.aggregate"):
+            server.aggregate_updates(
+                updates,
+                num_available=num_available,
+                sample_counts=(
+                    [c.num_samples for c in participants]
+                    if aggregation == "weighted"
+                    else None
+                ),
+            )
+            prev_global_delta = server.w - w_broadcast
+            global_grad = FLServer.aggregate_gradients(
+                [c.local_grad(server.w) for c in participants]
+            )
 
     # Observables.
     local_etas = np.full(len(clients), np.nan)
@@ -162,6 +170,19 @@ def run_federated_round(
     upload_ratio = np.ones(len(clients))
     for c in participants:
         upload_ratio[c.client_id] = ratio_sum[c.client_id] / iterations
+    if tel.enabled:
+        tel.counter("round.upload_bits_full", full_bits)
+        tel.counter("round.upload_bits_sent", compressed_bits)
+        tel.emit(
+            "round.complete",
+            data={
+                "iterations": iterations,
+                "participants": len(participants),
+                "eta_max": max(eta_by_client.values()),
+                "upload_bits_full": full_bits,
+                "upload_bits_sent": compressed_bits,
+            },
+        )
     return RoundResult(
         w=server.w.copy(),
         iterations=iterations,

@@ -1,0 +1,78 @@
+"""Dependency-free structured telemetry for runs and sweeps.
+
+Three layers:
+
+* :mod:`repro.obs.events` — the versioned JSONL event schema (monotonic
+  sequence numbers, run/epoch/worker scoping, all wall-clock data
+  isolated in the ``ts`` field so traces diff deterministically).
+* :mod:`repro.obs.registry` — hierarchical timer/counter/gauge registry
+  with snapshot/merge for process-safe aggregation across sweep workers.
+* :mod:`repro.obs.hub` — the process-current :class:`Telemetry` hub the
+  instrumentation in the learner / round runner / experiment loop /
+  sweep engine reports to.  Defaults to a no-op hub: with telemetry
+  disabled nothing is emitted, timed, or attached to results.
+
+Recorded traces are rendered by :mod:`repro.obs.trace_report`
+(``repro trace DIR``).
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    TELEMETRY_SCHEMA_VERSION,
+    Event,
+    canonical_line,
+    event_to_line,
+    iter_trace_lines,
+    jsonify,
+    parse_event_line,
+    read_events,
+    strip_volatile,
+    validate_event_dict,
+)
+from repro.obs.hub import (
+    MANIFEST_NAME,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    build_manifest,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+    validate_manifest,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    TimerStat,
+    load_snapshot,
+    merge_snapshots,
+)
+from repro.obs.trace_report import load_manifest, render_trace
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "Event",
+    "jsonify",
+    "event_to_line",
+    "parse_event_line",
+    "validate_event_dict",
+    "strip_volatile",
+    "canonical_line",
+    "read_events",
+    "iter_trace_lines",
+    "MetricsRegistry",
+    "TimerStat",
+    "merge_snapshots",
+    "load_snapshot",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "MANIFEST_NAME",
+    "build_manifest",
+    "validate_manifest",
+    "load_manifest",
+    "render_trace",
+]

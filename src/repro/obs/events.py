@@ -1,0 +1,219 @@
+"""Structured telemetry events and their JSONL wire format.
+
+Every event is one JSON object per line with a fixed, versioned shape::
+
+    {"v": 1, "seq": 12, "kind": "epoch.start", "run": "FedL-s0",
+     "worker": "main", "epoch": 3, "data": {...}, "ts": {"wall": ..., "dur": ...}}
+
+Design rules the rest of the subsystem (and the tests) rely on:
+
+* ``seq`` is a per-hub monotonic sequence number, so a single file is
+  totally ordered even if wall clocks jump.
+* **Everything non-deterministic lives under ``ts``** (wall-clock instant
+  and measured duration).  ``v``/``seq``/``kind``/scope/``data`` are pure
+  functions of the run, so two traces of the same seeded experiment are
+  byte-identical once ``ts`` is dropped — see :func:`canonical_line`.
+* ``data`` values are plain JSON scalars/lists (NumPy is converted by
+  :func:`jsonify` at emit time), so traces parse without this package.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "Event",
+    "jsonify",
+    "event_to_line",
+    "parse_event_line",
+    "validate_event_dict",
+    "strip_volatile",
+    "canonical_line",
+    "read_events",
+    "iter_trace_lines",
+]
+
+#: Bump when the wire shape of an event line changes incompatibly.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: The kinds the built-in instrumentation emits (documentation + trace
+#: rendering; validation accepts unknown kinds so downstream users can
+#: add their own without forking the schema).
+EVENT_KINDS = (
+    "run.start",
+    "run.complete",
+    "epoch.start",
+    "epoch.decision",
+    "epoch.complete",
+    "learner.descent",
+    "learner.ascent",
+    "round.complete",
+    "sweep.start",
+    "sweep.job",
+    "sweep.worker",
+    "sweep.complete",
+    "sweep.progress",
+)
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert ``value`` into plain JSON-serializable types.
+
+    NumPy scalars/arrays become Python floats/ints/lists; non-finite
+    floats become the strings ``"nan"``/``"inf"``/``"-inf"`` (strict JSON
+    has no encoding for them and traces must stay parseable everywhere).
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, str) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        f = float(value)
+        if math.isnan(f):
+            return "nan"
+        if math.isinf(f):
+            return "inf" if f > 0 else "-inf"
+        return f
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    raise TypeError(f"cannot jsonify {type(value).__name__}: {value!r}")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry event (the in-memory form of a JSONL line)."""
+
+    kind: str
+    seq: int
+    run: str
+    worker: str
+    epoch: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+    wall: float = 0.0               # non-deterministic: wall-clock seconds
+    dur: Optional[float] = None     # non-deterministic: measured duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire dict with the fixed key order the sink writes."""
+        return {
+            "v": TELEMETRY_SCHEMA_VERSION,
+            "seq": self.seq,
+            "kind": self.kind,
+            "run": self.run,
+            "worker": self.worker,
+            "epoch": self.epoch,
+            "data": self.data,
+            "ts": {"wall": self.wall, "dur": self.dur},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Event":
+        validate_event_dict(payload)
+        ts = payload["ts"]
+        return cls(
+            kind=payload["kind"],
+            seq=payload["seq"],
+            run=payload["run"],
+            worker=payload["worker"],
+            epoch=payload["epoch"],
+            data=dict(payload["data"]),
+            wall=float(ts["wall"]),
+            dur=None if ts["dur"] is None else float(ts["dur"]),
+        )
+
+
+def validate_event_dict(payload: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid v1 event dict."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("event must be a JSON object")
+    if payload.get("v") != TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported event schema version {payload.get('v')!r} "
+            f"(expected {TELEMETRY_SCHEMA_VERSION})"
+        )
+    for key, types in (
+        ("seq", (int,)),
+        ("kind", (str,)),
+        ("run", (str,)),
+        ("worker", (str,)),
+    ):
+        if not isinstance(payload.get(key), types) or isinstance(
+            payload.get(key), bool
+        ):
+            raise ValueError(f"event field {key!r} missing or mistyped")
+    if payload["seq"] < 0:
+        raise ValueError("seq must be nonnegative")
+    epoch = payload.get("epoch")
+    if epoch is not None and (isinstance(epoch, bool) or not isinstance(epoch, int)):
+        raise ValueError("epoch must be an int or null")
+    if not isinstance(payload.get("data"), Mapping):
+        raise ValueError("data must be an object")
+    ts = payload.get("ts")
+    if not isinstance(ts, Mapping) or "wall" not in ts or "dur" not in ts:
+        raise ValueError("ts must be an object with wall and dur")
+    if not isinstance(ts["wall"], (int, float)) or isinstance(ts["wall"], bool):
+        raise ValueError("ts.wall must be a number")
+    if ts["dur"] is not None and (
+        isinstance(ts["dur"], bool) or not isinstance(ts["dur"], (int, float))
+    ):
+        raise ValueError("ts.dur must be a number or null")
+
+
+def event_to_line(event: Event) -> str:
+    """Serialize to one JSONL line (no trailing newline)."""
+    return json.dumps(event.to_dict(), separators=(",", ":"))
+
+
+def parse_event_line(line: str) -> Event:
+    """Parse and validate one JSONL line back into an :class:`Event`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed event line: {exc}") from exc
+    return Event.from_dict(payload)
+
+
+def strip_volatile(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Drop the ``ts`` field — everything that may differ between two
+    runs of the same seeded experiment."""
+    return {k: v for k, v in payload.items() if k != "ts"}
+
+
+def canonical_line(line: str) -> str:
+    """Deterministic re-serialization of an event line (``ts`` removed,
+    keys sorted).  Two traces of the same run compare equal line-by-line
+    under this mapping; the determinism test is built on it."""
+    payload = json.loads(line)
+    return json.dumps(strip_volatile(payload), sort_keys=True, separators=(",", ":"))
+
+
+def iter_trace_lines(directory: str | Path) -> Iterator[str]:
+    """Yield every event line from ``events*.jsonl`` files under
+    ``directory`` (sorted by file name for stable ordering)."""
+    root = Path(directory).expanduser()
+    for path in sorted(root.glob("events*.jsonl")):
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield line
+
+
+def read_events(directory: str | Path) -> List[Event]:
+    """Parse every event under ``directory``; ordered by (worker, seq)."""
+    events = [parse_event_line(line) for line in iter_trace_lines(directory)]
+    events.sort(key=lambda e: (e.worker, e.seq))
+    return events

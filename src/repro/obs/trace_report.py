@@ -1,0 +1,220 @@
+"""Rendering a recorded telemetry trace for terminals (``repro trace``).
+
+Input: a trace directory (``events*.jsonl`` + optional ``manifest.json``).
+Output: plain text — event inventory, hierarchical per-phase timing
+tables from the merged timer registry, counters, and ASCII trajectories
+of the controller quantities the paper's theory tracks (dual variables
+``μ_t``, constraint-fit accumulation ``Σ‖h_t⁺‖``, the running descent
+objective, test accuracy).
+
+Everything here is read-only over the JSONL schema in
+:mod:`repro.obs.events`; it never needs the experiment code, so traces
+from old runs render with newer reporting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.events import Event, read_events
+from repro.obs.hub import MANIFEST_NAME, validate_manifest
+from repro.obs.registry import MetricsRegistry, TimerStat
+
+__all__ = ["load_manifest", "render_trace", "timing_table", "trajectory_section"]
+
+
+def load_manifest(directory: str | Path) -> Optional[Dict[str, Any]]:
+    """Read + validate ``manifest.json``; ``None`` if absent/invalid."""
+    path = Path(directory).expanduser() / MANIFEST_NAME
+    try:
+        payload = json.loads(path.read_text())
+        validate_manifest(payload)
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    return payload
+
+
+def _num(value: Any, default: float = float("nan")) -> float:
+    """Undo :func:`repro.obs.events.jsonify`'s non-finite encoding."""
+    if isinstance(value, str):
+        return {"nan": float("nan"), "inf": float("inf"), "-inf": float("-inf")}.get(
+            value, default
+        )
+    if isinstance(value, (int, float)):
+        return float(value)
+    return default
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    return f"{seconds * 1e3:8.3f}ms"
+
+
+def timing_table(timers: Mapping[str, Mapping[str, Any]]) -> str:
+    """Hierarchical per-phase timing table from a registry snapshot.
+
+    Rows are sorted by name so siblings group under their dotted prefix;
+    nesting is shown by indenting each path segment past the first.
+    """
+    if not timers:
+        return "(no timers recorded)"
+    header = f"{'phase':<32} {'count':>7} {'total':>10} {'mean':>10} {'max':>10}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(timers):
+        stat = TimerStat.from_dict(timers[name])
+        label = "  " * name.count(".") + name
+        lines.append(
+            f"{label:<32} {stat.count:>7d} {_fmt_seconds(stat.total_s):>10} "
+            f"{_fmt_seconds(stat.mean_s):>10} {_fmt_seconds(stat.max_s):>10}"
+        )
+    return "\n".join(lines)
+
+
+def _aggregate_event_durs(events: Sequence[Event]) -> Dict[str, Dict[str, Any]]:
+    """Fallback timing source when no manifest exists: per-kind ``dur``."""
+    registry = MetricsRegistry()
+    for event in events:
+        if event.dur is not None:
+            registry.record_timer(event.kind, event.dur)
+    return registry.snapshot()["timers"]
+
+
+def _series_block(
+    title: str, points: Sequence[Tuple[float, float]], width: int = 60
+) -> List[str]:
+    """One labelled sparkline row (last value printed for reading off)."""
+    from repro.experiments.plotting import sparkline
+
+    values = [y for _, y in points]
+    if not values:
+        return []
+    return [f"  {title:<28} {sparkline(values, width)}  last={values[-1]:.4g}"]
+
+
+def trajectory_section(events: Sequence[Event], run: str, chart: bool = True) -> str:
+    """Render the controller trajectories recorded for one run id."""
+    mu_max: List[Tuple[float, float]] = []
+    fit: List[Tuple[float, float]] = []
+    objective: List[Tuple[float, float]] = []
+    regret_like: List[Tuple[float, float]] = []
+    accuracy: List[Tuple[float, float]] = []
+    fit_total = 0.0
+    obj_total = 0.0
+    for event in events:
+        if event.run != run or event.epoch is None:
+            continue
+        t = float(event.epoch)
+        if event.kind == "learner.ascent":
+            mu = [_num(v) for v in event.data.get("mu", [])]
+            slacks = [_num(v) for v in event.data.get("h", [])]
+            if mu:
+                mu_max.append((t, max(mu)))
+            fit_total += sum(max(s, 0.0) for s in slacks)
+            fit.append((t, fit_total))
+        elif event.kind == "learner.descent":
+            obj = _num(event.data.get("objective"), default=float("nan"))
+            if obj == obj:  # skip NaN
+                objective.append((t, obj))
+                obj_total += obj
+                regret_like.append((t, obj_total))
+        elif event.kind == "epoch.complete":
+            acc = _num(event.data.get("test_accuracy"))
+            if acc == acc:
+                accuracy.append((t, acc))
+    lines: List[str] = [f"trajectories — run {run!r} (x = epoch)"]
+    lines += _series_block("dual max_i mu_t[i]", mu_max)
+    lines += _series_block("cumulative fit sum h_t^+", fit)
+    lines += _series_block("descent objective f_t", objective)
+    lines += _series_block("cumulative objective", regret_like)
+    lines += _series_block("test accuracy", accuracy)
+    if len(lines) == 1:
+        return f"trajectories — run {run!r}: no learner/epoch events recorded"
+    if chart and mu_max and fit:
+        from repro.experiments.plotting import ascii_chart
+
+        lines.append("")
+        lines.append(
+            ascii_chart(
+                {"mu_max": mu_max, "cum_fit": fit},
+                x_label="epoch",
+                y_label="value",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_trace(
+    directory: str | Path,
+    run: Optional[str] = None,
+    chart: bool = True,
+    max_runs: int = 4,
+) -> str:
+    """Full text report for ``repro trace DIRECTORY``."""
+    directory = Path(directory).expanduser()
+    events = read_events(directory)
+    manifest = load_manifest(directory)
+    sections: List[str] = []
+
+    counts = Counter(e.kind for e in events)
+    runs = sorted({e.run for e in events})
+    workers = sorted({e.worker for e in events})
+    sections.append(
+        f"telemetry trace: {directory}\n"
+        f"  events={len(events)}  runs={len(runs)}  workers={len(workers)}"
+        + ("  manifest=ok" if manifest else "  manifest=missing")
+    )
+
+    if counts:
+        width = max(len(k) for k in counts)
+        inventory = "\n".join(
+            f"  {kind:<{width}}  {n:>6d}" for kind, n in sorted(counts.items())
+        )
+        sections.append("event inventory\n" + inventory)
+
+    timers = (
+        manifest["registry"]["timers"] if manifest else _aggregate_event_durs(events)
+    )
+    sections.append("per-phase timing\n" + timing_table(timers))
+
+    if manifest:
+        counters = manifest["registry"]["counters"]
+        if counters:
+            width = max(len(k) for k in counters)
+            sections.append(
+                "counters\n"
+                + "\n".join(
+                    f"  {name:<{width}}  {value:.6g}"
+                    for name, value in sorted(counters.items())
+                )
+            )
+        if manifest["workers"]:
+            sections.append(
+                "worker utilization\n"
+                + "\n".join(
+                    f"  {w['worker']:<12} jobs={w['jobs']:<4d} busy={w['busy_s']:.3f}s"
+                    for w in manifest["workers"]
+                )
+            )
+
+    if run is not None:
+        chosen = [r for r in runs if r == run or r.startswith(run)]
+        if not chosen:
+            sections.append(f"run {run!r} not found; available: {runs}")
+    else:
+        # Most-instrumented runs first, capped so sweep traces stay readable.
+        by_signal = Counter(
+            e.run for e in events if e.kind in ("learner.ascent", "epoch.complete")
+        )
+        chosen = [r for r, _ in by_signal.most_common(max_runs)]
+    for r in chosen:
+        sections.append(trajectory_section(events, r, chart=chart))
+    if run is None and len(runs) > len(chosen) and chosen:
+        sections.append(
+            f"({len(runs) - len(chosen)} more runs in this trace; "
+            "re-run with --run PREFIX to select one)"
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,89 @@
+"""Timer/counter/gauge registry: stats, snapshots, cross-process merge."""
+
+import json
+
+from repro.obs import MetricsRegistry, TimerStat, load_snapshot, merge_snapshots
+
+
+class TestTimerStat:
+    def test_records_count_total_min_max(self):
+        stat = TimerStat()
+        for dt in (0.2, 0.1, 0.4):
+            stat.record(dt)
+        assert stat.count == 3
+        assert abs(stat.total_s - 0.7) < 1e-12
+        assert stat.min_s == 0.1 and stat.max_s == 0.4
+        assert abs(stat.mean_s - 0.7 / 3) < 1e-12
+
+    def test_dict_round_trip(self):
+        stat = TimerStat()
+        stat.record(0.25)
+        again = TimerStat.from_dict(stat.to_dict())
+        assert again.to_dict() == stat.to_dict()
+
+    def test_empty_stat_serializes_finite(self):
+        payload = TimerStat().to_dict()
+        assert payload == {"count": 0, "total_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+        json.dumps(payload, allow_nan=False)
+
+
+class TestRegistry:
+    def test_counters_accumulate_and_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.add_counter("sweep.cache_hits")
+        reg.add_counter("sweep.cache_hits", 2.0)
+        reg.set_gauge("budget.remaining", 10.0)
+        reg.set_gauge("budget.remaining", 4.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["sweep.cache_hits"] == 3.0
+        assert snap["gauges"]["budget.remaining"] == 4.0
+
+    def test_hierarchical_names_are_independent(self):
+        reg = MetricsRegistry()
+        reg.record_timer("round.local_solve", 0.1)
+        reg.record_timer("round.aggregate", 0.2)
+        assert set(reg.snapshot()["timers"]) == {
+            "round.local_solve",
+            "round.aggregate",
+        }
+
+
+class TestMerge:
+    def make(self, n, dt):
+        reg = MetricsRegistry()
+        for _ in range(n):
+            reg.record_timer("sweep.job", dt)
+        reg.add_counter("jobs", n)
+        reg.set_gauge("last", dt)
+        return reg
+
+    def test_merge_snapshots_accumulates_timers_and_counters(self):
+        merged = merge_snapshots(
+            [self.make(2, 0.1).snapshot(), self.make(3, 0.3).snapshot()]
+        )
+        stat = merged.timers["sweep.job"]
+        assert stat.count == 5
+        assert abs(stat.total_s - (2 * 0.1 + 3 * 0.3)) < 1e-12
+        assert stat.min_s == 0.1 and stat.max_s == 0.3
+        assert merged.counters["jobs"] == 5.0
+        assert merged.gauges["last"] == 0.3  # last snapshot wins
+
+    def test_merge_is_associative_over_disjoint_names(self):
+        a = MetricsRegistry()
+        a.record_timer("x", 1.0)
+        b = MetricsRegistry()
+        b.record_timer("y", 2.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.timers["x"].count == 1 and merged.timers["y"].count == 1
+
+    def test_dump_and_load_snapshot(self, tmp_path):
+        reg = self.make(4, 0.05)
+        path = reg.dump(tmp_path / "registry-w1.json")
+        snap = load_snapshot(path)
+        assert snap == reg.snapshot()
+
+    def test_load_snapshot_tolerates_garbage(self, tmp_path):
+        bad = tmp_path / "registry-w2.json"
+        bad.write_text("{broken")
+        assert load_snapshot(bad) is None
+        assert load_snapshot(tmp_path / "missing.json") is None
