@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro run      --policy FedL --dataset fmnist --budget 600 \
                              [--telemetry out/trace]
@@ -10,6 +10,8 @@ Five subcommands::
                              --cache-dir ~/.cache/repro/sweeps
     python -m repro trace    out/trace [--run PREFIX]
     python -m repro regret   --horizons 25 50 100
+    python -m repro bench    [--quick] [--out BENCH.json] \
+                             [--check BENCH_PR3.json --tolerance 0.2]
 
 ``run``/``compare``/``sweep`` accept ``--save out.json`` to persist the
 traces/results (see :mod:`repro.experiments.persistence`).  ``sweep``
@@ -145,6 +147,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_reg = sub.add_parser("regret", help="dynamic regret/fit growth check")
     p_reg.add_argument("--horizons", type=int, nargs="+", default=[25, 50, 100])
     p_reg.add_argument("--seed", type=int, default=5)
+
+    p_bch = sub.add_parser(
+        "bench",
+        help="hot-path performance benchmark (FL engine, epoch solver, "
+        "NN kernels) with an optional regression gate",
+    )
+    p_bch.add_argument("--quick", action="store_true",
+                       help="smaller config for CI smoke runs")
+    p_bch.add_argument("--clients", type=int, default=None,
+                       help="FL-layer client count (default: 100, or 40 "
+                       "with --quick)")
+    p_bch.add_argument("--epochs", type=int, default=None,
+                       help="FL-layer epoch count (default: 200, or 40 "
+                       "with --quick)")
+    p_bch.add_argument("--seed", type=int, default=0)
+    p_bch.add_argument("--out", type=str, default=None, metavar="PATH.json",
+                       help="write the versioned JSON report here")
+    p_bch.add_argument("--check", type=str, default=None, metavar="BASELINE.json",
+                       help="compare against a baseline report; exit 1 when "
+                       "a gated ratio regresses past --tolerance or "
+                       "bit-identity breaks")
+    p_bch.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed fractional regression for --check "
+                       "(default 0.2 = 20%%)")
+    p_bch.add_argument("--strict", action="store_true",
+                       help="with --check, also gate absolute throughputs "
+                       "(same-machine baselines only)")
+    p_bch.add_argument("--pre-pr-seconds", type=float, default=None,
+                       help="wall seconds of the pre-PR loop reference at "
+                       "the same FL config (measured from a worktree of "
+                       "the parent commit); recorded in the report")
     return parser
 
 
@@ -392,6 +425,51 @@ def _cmd_regret(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        check_regression,
+        format_report,
+        load_report,
+        run_bench,
+        save_report,
+    )
+
+    if args.clients is not None and args.clients < 2:
+        return _usage_error("--clients must be >= 2")
+    if args.epochs is not None and args.epochs < 1:
+        return _usage_error("--epochs must be >= 1")
+    if not (0.0 < args.tolerance < 1.0):
+        return _usage_error("--tolerance must be in (0, 1)")
+    baseline = None
+    if args.check:
+        try:
+            baseline = load_report(args.check)
+        except (OSError, ValueError) as exc:
+            return _usage_error(f"cannot read baseline: {exc}")
+    report = run_bench(
+        quick=args.quick,
+        num_clients=args.clients,
+        max_epochs=args.epochs,
+        seed=args.seed,
+        pre_pr_seconds=args.pre_pr_seconds,
+    )
+    print(format_report(report))
+    if args.out:
+        path = save_report(report, args.out)
+        print(f"\nreport -> {path}")
+    if baseline is not None:
+        failures = check_regression(
+            report, baseline, tolerance=args.tolerance, strict=args.strict
+        )
+        if failures:
+            print(f"\nREGRESSION vs {args.check}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nregression check vs {args.check}: OK")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -400,6 +478,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "regret": _cmd_regret,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -158,6 +158,8 @@ class TrainingConfig:
     dp_clip_norm: float = 1.0           # Δ, per-upload L2 sensitivity
     local_sgd_steps: int = 10           # max gradient steps j per iteration
                                         # (cap; the η_t target stops earlier)
+    engine: str = "auto"                # round execution: "auto" | "loop" |
+                                        # "batched" (bit-identical engines)
     sgd_lr: float = 0.05                # α
     sigma1: float = 1.0                 # DANE proximal weight σ1
     sigma2: float = 1.0                 # DANE gradient-correction weight σ2
@@ -174,6 +176,7 @@ class TrainingConfig:
         _require(0 < self.theta0 < 1, "theta0 in (0,1)")
         _require(self.theta > 0, "theta must be positive")
         _require(self.local_solver in ("dane", "fedprox"), "unknown local_solver")
+        _require(self.engine in ("auto", "loop", "batched"), "unknown engine")
         _require(0.0 <= self.momentum < 1.0, "momentum in [0,1)")
         _require(self.aggregation in ("uniform", "weighted"), "unknown aggregation")
         _require(
@@ -201,6 +204,8 @@ class FedLConfig:
     solver_tol: float = 1e-7
     rounding: str = "rdcs"              # "rdcs" | "independent"
     objective: str = "sum"              # "sum" (paper eq. 4) | "softmax" (ablation)
+    solver_warm_start: bool = True      # carry Φ̃/step-size/iteration state
+                                        # across epochs in descent_step
 
     def __post_init__(self) -> None:
         if self.beta is not None:

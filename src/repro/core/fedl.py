@@ -79,6 +79,7 @@ class FedLPolicy:
             # roughly n clients (with RDCS providing the exploration).
             x_init=min(1.0, min_participants / num_clients),
             objective=cfg.objective,
+            warm_start=cfg.solver_warm_start,
         )
         # Observable-quantity estimates.
         self.eta_hat = np.full(num_clients, ETA_PRIOR)

@@ -142,12 +142,17 @@ class ClassConditionalGenerator:
                 raise ValueError("class_probs must be a nonnegative distribution")
             probs = probs / probs.sum()
         labels = gen.choice(self.num_classes, size=n, p=probs)
-        base = self.prototypes[labels]  # (n, H, W, C)
+        base = self.prototypes[labels]  # (n, H, W, C), a fresh copy
         eps = gen.normal(0.0, self.noise, size=base.shape)
         # Per-sample intensity/contrast jitter (broadcast over pixels).
         gain = gen.uniform(0.85, 1.15, size=(n, 1, 1, 1))
         bias = gen.uniform(-0.05, 0.05, size=(n, 1, 1, 1))
-        imgs = np.clip(base * gain + bias + eps, 0.0, 1.0)
+        # ((base·gain) + bias) + eps, clipped — evaluated in place on the
+        # fancy-index copy (identical op order, no temporaries).
+        np.multiply(base, gain, out=base)
+        base += bias
+        base += eps
+        imgs = np.clip(base, 0.0, 1.0, out=base)
         x = imgs.reshape(n, -1) if flatten else imgs
         return Dataset(x=x if flatten else x.reshape(n, -1), y=labels)
 

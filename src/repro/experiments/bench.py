@@ -1,0 +1,448 @@
+"""Reproducible performance benchmark for the three hot-path layers.
+
+``repro bench`` times (1) the FL execution layer — the loop engine vs the
+vectorized :class:`repro.fl.batched.BatchedClientEngine` on a fig6-style
+smoke experiment, asserting the two produce bit-identical
+``ExperimentResult`` outputs — (2) the per-epoch descent solver cold vs
+warm-started, and (3) the NN kernels (conv im2col caches, in-place SGD).
+All timings flow through the PR-2 telemetry registry
+(:class:`repro.obs.MetricsRegistry`), so the same timer names appear in
+``repro trace`` reports of instrumented runs.
+
+The JSON report (``--out``) is versioned via ``schema_version``;
+``BENCH_PR3.json`` at the repo root is the first committed point of the
+perf trajectory.  :func:`check_regression` gates CI: machine-independent
+*ratios* (batched-vs-loop speedup, warm-vs-cold solver speedup, kernel
+cache speedups) are always compared against the baseline, absolute
+throughputs only when the configs match and ``strict`` is requested —
+absolute ops/sec are machine-specific, ratios are not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs import Telemetry, use_telemetry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_fl_engine",
+    "bench_solver",
+    "bench_nn_kernels",
+    "run_bench",
+    "check_regression",
+    "format_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Ratio metrics gated by :func:`check_regression` regardless of config —
+#: both sides of each ratio are measured in the same process on the same
+#: machine, so the quotient transfers across hosts.  Only ratios over
+#: seconds-scale timings (fl) or deterministic counts (solver) are gated;
+#: warm_speedup / conv_cache_speedup / sgd_in_place_speedup divide
+#: millisecond-scale timings and are reported but not gated — a 20% gate
+#: on those would flake on allocator/cache noise.
+RATIO_KEYS = (
+    ("fl", "speedup_vs_loop"),
+    ("solver", "warm_iter_ratio"),
+)
+
+#: Absolute throughput metrics (higher is better), gated only under
+#: ``strict`` with matching configs.
+THROUGHPUT_KEYS = (
+    ("fl", "batched_epochs_per_s"),
+    ("solver", "warm_solves_per_s"),
+    ("nn", "conv_steps_per_s"),
+)
+
+
+def _mem_hub(run_id: str) -> Telemetry:
+    """An enabled in-memory hub: events go to a StringIO, the registry is
+    readable afterwards.  Keeps the instrumented code paths identical to a
+    ``--telemetry`` run without touching disk."""
+    return Telemetry(sink=io.StringIO(), run_id=run_id)
+
+
+# -- layer 1: FL engine --------------------------------------------------------
+
+
+def bench_fl_engine(
+    num_clients: int = 100,
+    budget: float = 9000.0,
+    max_epochs: int = 200,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Loop engine vs batched engine on the fig6-style smoke experiment.
+
+    Both arms run the full experiment (FedL policy, warm-started solver)
+    and must produce bit-identical ``ExperimentResult`` outputs — the
+    equality is part of the report and :func:`check_regression` fails on
+    any mismatch.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.scenarios import experiment_config, make_policy
+
+    cfg = experiment_config(
+        num_clients=num_clients, budget=budget, max_epochs=max_epochs, seed=seed
+    )
+    results = {}
+    timings = {}
+    solver_stats = {}
+    for engine in ("loop", "batched"):
+        c = cfg.replace(
+            training=dataclasses.replace(cfg.training, engine=engine),
+            fedl=dataclasses.replace(cfg.fedl, solver_warm_start=True),
+        )
+        policy = make_policy("FedL", c, np.random.default_rng(c.seed))
+        hub = _mem_hub(f"bench.fl.{engine}")
+        t0 = time.perf_counter()
+        with use_telemetry(hub):
+            with hub.timer(f"bench.fl.{engine}"):
+                results[engine] = run_experiment(policy, c)
+        timings[engine] = time.perf_counter() - t0
+        counters = hub.registry.counters
+        pg = hub.registry.timers.get("solver.projected_gradient")
+        solver_stats[engine] = {
+            "solve_count": pg.count if pg else 0,
+            "solve_total_s": pg.total_s if pg else 0.0,
+            "iterations": counters.get("solver.iterations", 0.0),
+            "warm_start_hits": counters.get("solver.warm_start_hits", 0.0),
+            "iterations_saved": counters.get("solver.iterations_saved", 0.0),
+        }
+    rl, rb = results["loop"], results["batched"]
+    identical = bool(
+        np.array_equal(rl.final_w, rb.final_w) and rl.trace.equals(rb.trace)
+    )
+    epochs = len(rb.trace)
+    loop_s, batched_s = timings["loop"], timings["batched"]
+    return {
+        "config": {
+            "num_clients": num_clients,
+            "budget": budget,
+            "max_epochs": max_epochs,
+            "seed": seed,
+        },
+        "epochs": epochs,
+        "identical": identical,
+        "loop_seconds": loop_s,
+        "batched_seconds": batched_s,
+        "speedup_vs_loop": loop_s / batched_s if batched_s > 0 else float("inf"),
+        "loop_epochs_per_s": epochs / loop_s if loop_s > 0 else 0.0,
+        "batched_epochs_per_s": epochs / batched_s if batched_s > 0 else 0.0,
+        "batched_epoch_latency_s": batched_s / epochs if epochs else 0.0,
+        "solver_iters_per_epoch": (
+            solver_stats["batched"]["iterations"] / epochs if epochs else 0.0
+        ),
+        "solver_stats": solver_stats,
+    }
+
+
+# -- layer 2: epoch solver -----------------------------------------------------
+
+
+def _epoch_problem_stream(num_clients: int, horizon: int, seed: int):
+    """Synthetic drifting epoch subproblems (same family as ``repro regret``)."""
+    from repro.core.problem import EpochInputs, FedLProblem
+
+    rng = np.random.default_rng(seed)
+    base_tau = rng.uniform(0.2, 2.0, num_clients)
+    base_eta = rng.uniform(0.2, 0.7, num_clients)
+    problems = []
+    for t in range(horizon):
+        drift = 0.2 * np.sin(2 * np.pi * t / 40.0 + np.arange(num_clients))
+        problems.append(
+            FedLProblem(
+                EpochInputs(
+                    tau=np.clip(base_tau + drift, 0.05, None),
+                    costs=rng.uniform(0.5, 3.0, num_clients),
+                    available=np.ones(num_clients, bool),
+                    eta_hat=np.clip(base_eta + 0.1 * drift, 0.0, 0.9),
+                    loss_gap=0.3,
+                    loss_sensitivity=np.full(num_clients, -0.12),
+                    remaining_budget=1e6,
+                    min_participants=3,
+                ),
+                rho_max=6.0,
+            )
+        )
+    return problems
+
+
+def bench_solver(
+    num_clients: int = 30, horizon: int = 50, seed: int = 0
+) -> Dict[str, Any]:
+    """Cold vs warm-started descent solves over a drifting epoch stream."""
+    from repro.core.online_learner import OnlineLearner
+
+    problems = _epoch_problem_stream(num_clients, horizon, seed)
+    out: Dict[str, Any] = {
+        "config": {"num_clients": num_clients, "horizon": horizon, "seed": seed}
+    }
+    stats = {}
+    for mode, warm in (("cold", False), ("warm", True)):
+        learner = OnlineLearner(
+            num_clients, beta=0.2, delta=0.2, rho_max=6.0, warm_start=warm
+        )
+        hub = _mem_hub(f"bench.solver.{mode}")
+        t0 = time.perf_counter()
+        with use_telemetry(hub):
+            for prob in problems:
+                phi = learner.descent_step(prob.inputs)
+                learner.dual_ascent(prob.h(phi))
+        total = time.perf_counter() - t0
+        counters = hub.registry.counters
+        stats[mode] = {
+            "total_s": total,
+            "solves_per_s": horizon / total if total > 0 else 0.0,
+            "iterations": counters.get("solver.iterations", 0.0),
+            "iters_per_solve": counters.get("solver.iterations", 0.0) / horizon,
+            "warm_start_hits": counters.get("solver.warm_start_hits", 0.0),
+            "iterations_saved": counters.get("solver.iterations_saved", 0.0),
+        }
+    out.update(
+        cold=stats["cold"],
+        warm=stats["warm"],
+        warm_speedup=(
+            stats["cold"]["total_s"] / stats["warm"]["total_s"]
+            if stats["warm"]["total_s"] > 0
+            else float("inf")
+        ),
+        # Deterministic for a fixed (config, seed): total descent iterations
+        # cold / warm.  This is what check_regression gates on.
+        warm_iter_ratio=(
+            stats["cold"]["iterations"] / stats["warm"]["iterations"]
+            if stats["warm"]["iterations"] > 0
+            else float("inf")
+        ),
+        warm_solves_per_s=stats["warm"]["solves_per_s"],
+    )
+    return out
+
+
+# -- layer 3: NN kernels -------------------------------------------------------
+
+
+def bench_nn_kernels(repeats: int = 30, seed: int = 0) -> Dict[str, Any]:
+    """Conv im2col-cache effect and in-place SGD on representative shapes."""
+    from repro.nn import conv as conv_mod
+    from repro.nn.conv import Conv2D
+    from repro.nn.optim import SGD
+
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(16, 28, 28, 1))
+
+    def conv_step(layer: Conv2D) -> None:
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+
+    # Cold: geometry caches empty, first call pays the index build.
+    conv_mod._INDICES_CACHE.clear()
+    conv_mod._FLAT_PIX_CACHE.clear()
+    layer = Conv2D(1, 8, 3, rng=np.random.default_rng(seed))
+    t0 = time.perf_counter()
+    conv_step(layer)
+    cold_s = time.perf_counter() - t0
+    # Steady state: caches warm, gather buffer preallocated.
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        conv_step(layer)
+    steady_s = (time.perf_counter() - t0) / repeats
+
+    w = rng.normal(size=500_000)
+    g = rng.normal(size=500_000)
+    # Untimed warmup so the allocating arm does not pay first-touch page
+    # faults that the in-place arm never would.
+    warm_opt = SGD(lr=0.05)
+    w_warm = w.copy()
+    for _ in range(3):
+        w_warm = warm_opt.step(w_warm, g)
+    opt_copy = SGD(lr=0.05)
+    t0 = time.perf_counter()
+    w_c = w.copy()
+    for _ in range(repeats):
+        w_c = opt_copy.step(w_c, g)
+    copy_s = (time.perf_counter() - t0) / repeats
+    opt_inplace = SGD(lr=0.05, in_place=True)
+    w_i = w.copy()
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        w_i = opt_inplace.step(w_i, g)
+    inplace_s = (time.perf_counter() - t0) / repeats
+    return {
+        "config": {"repeats": repeats, "seed": seed},
+        "conv_cold_s": cold_s,
+        "conv_steady_s": steady_s,
+        "conv_cache_speedup": cold_s / steady_s if steady_s > 0 else float("inf"),
+        "conv_steps_per_s": 1.0 / steady_s if steady_s > 0 else 0.0,
+        "sgd_copy_step_s": copy_s,
+        "sgd_in_place_step_s": inplace_s,
+        "sgd_in_place_speedup": copy_s / inplace_s if inplace_s > 0 else float("inf"),
+        "sgd_results_equal": bool(np.array_equal(w_c, w_i)),
+    }
+
+
+# -- assembly ------------------------------------------------------------------
+
+
+def run_bench(
+    quick: bool = False,
+    num_clients: Optional[int] = None,
+    max_epochs: Optional[int] = None,
+    seed: int = 0,
+    pre_pr_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run all three layers; returns the versioned JSON-ready report.
+
+    ``pre_pr_seconds`` (optional) is the wall time of the pre-PR loop
+    reference at the same FL config, measured from a worktree of the
+    parent commit — it cannot be re-measured from this tree, so it is
+    passed in and recorded alongside the in-process numbers.
+    """
+    clients = num_clients if num_clients is not None else (40 if quick else 100)
+    epochs = max_epochs if max_epochs is not None else (40 if quick else 200)
+    budget = 9000.0
+    fl = bench_fl_engine(
+        num_clients=clients, budget=budget, max_epochs=epochs, seed=seed
+    )
+    if pre_pr_seconds is not None:
+        fl["pre_pr_seconds"] = float(pre_pr_seconds)
+        fl["speedup_vs_pre_pr"] = (
+            float(pre_pr_seconds) / fl["batched_seconds"]
+            if fl["batched_seconds"] > 0
+            else float("inf")
+        )
+    solver = bench_solver(
+        num_clients=min(clients, 30), horizon=20 if quick else 50, seed=seed
+    )
+    nn = bench_nn_kernels(repeats=10 if quick else 30, seed=seed)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "created_unix": time.time(),
+        },
+        "fl": fl,
+        "solver": solver,
+        "nn": nn,
+    }
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.2,
+    strict: bool = False,
+) -> List[str]:
+    """Compare a bench report against a baseline; returns failure strings.
+
+    Always checked: FL bit-identity, and every :data:`RATIO_KEYS` ratio
+    (fails when ``current < baseline · (1 − tolerance)``).  Absolute
+    throughputs (:data:`THROUGHPUT_KEYS`) are checked only when ``strict``
+    and the FL configs match — they do not transfer across machines.
+    """
+    failures: List[str] = []
+    if not current.get("fl", {}).get("identical", False):
+        failures.append("fl: loop and batched engines are no longer bit-identical")
+    if not current.get("nn", {}).get("sgd_results_equal", False):
+        failures.append("nn: in-place SGD no longer matches the allocating path")
+    if int(baseline.get("schema_version", 0)) != SCHEMA_VERSION:
+        failures.append(
+            f"baseline schema_version {baseline.get('schema_version')} "
+            f"!= {SCHEMA_VERSION}; regenerate the baseline"
+        )
+        return failures
+
+    def lookup(report: Dict[str, Any], section: str, key: str) -> Optional[float]:
+        value = report.get(section, {}).get(key)
+        return float(value) if isinstance(value, (int, float)) else None
+
+    keys = list(RATIO_KEYS)
+    configs_match = current.get("fl", {}).get("config") == baseline.get(
+        "fl", {}
+    ).get("config")
+    if strict and configs_match:
+        keys += list(THROUGHPUT_KEYS)
+    for section, key in keys:
+        cur = lookup(current, section, key)
+        base = lookup(baseline, section, key)
+        if cur is None or base is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            failures.append(
+                f"{section}.{key}: {cur:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of :func:`run_bench` output."""
+    fl, solver, nn = report["fl"], report["solver"], report["nn"]
+    lines = [
+        f"repro bench (schema v{report['schema_version']}"
+        + (", quick)" if report.get("quick") else ")"),
+        "",
+        f"[fl]      {fl['config']['num_clients']} clients x {fl['epochs']} epochs "
+        f"(budget {fl['config']['budget']:g})",
+        f"          loop    {fl['loop_seconds']:8.2f}s  "
+        f"({fl['loop_epochs_per_s']:6.2f} epochs/s)",
+        f"          batched {fl['batched_seconds']:8.2f}s  "
+        f"({fl['batched_epochs_per_s']:6.2f} epochs/s)  "
+        f"speedup {fl['speedup_vs_loop']:.2f}x",
+        f"          bit-identical results: {fl['identical']}   "
+        f"solver iters/epoch: {fl['solver_iters_per_epoch']:.1f}",
+    ]
+    if "speedup_vs_pre_pr" in fl:
+        lines.append(
+            f"          pre-PR reference {fl['pre_pr_seconds']:.2f}s  "
+            f"-> speedup {fl['speedup_vs_pre_pr']:.2f}x"
+        )
+    lines += [
+        "",
+        f"[solver]  {solver['config']['num_clients']} clients x "
+        f"{solver['config']['horizon']} epoch subproblems",
+        f"          cold {solver['cold']['total_s']:.3f}s "
+        f"({solver['cold']['iters_per_solve']:.1f} iters/solve)   "
+        f"warm {solver['warm']['total_s']:.3f}s "
+        f"({solver['warm']['iters_per_solve']:.1f} iters/solve)   "
+        f"speedup {solver['warm_speedup']:.2f}x",
+        f"          warm hits {solver['warm']['warm_start_hits']:.0f}, "
+        f"iterations saved {solver['warm']['iterations_saved']:.0f}",
+        "",
+        f"[nn]      conv cold {nn['conv_cold_s'] * 1e3:.2f}ms, steady "
+        f"{nn['conv_steady_s'] * 1e3:.2f}ms "
+        f"({nn['conv_steps_per_s']:.0f} steps/s, cache speedup "
+        f"{nn['conv_cache_speedup']:.2f}x)",
+        f"          sgd step copy {nn['sgd_copy_step_s'] * 1e3:.3f}ms, "
+        f"in-place {nn['sgd_in_place_step_s'] * 1e3:.3f}ms "
+        f"({nn['sgd_in_place_speedup']:.2f}x, results equal: "
+        f"{nn['sgd_results_equal']})",
+    ]
+    return "\n".join(lines)
+
+
+def load_report(path: str | Path) -> Dict[str, Any]:
+    """Read a bench JSON file (raises on missing/invalid)."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "schema_version" not in payload:
+        raise ValueError(f"not a bench report: {path}")
+    return payload
+
+
+def save_report(report: Dict[str, Any], path: str | Path) -> Path:
+    """Write the report as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

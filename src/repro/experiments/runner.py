@@ -401,6 +401,7 @@ def run_experiment(
                 dp_spec=sim.dp_spec,
                 dp_rng=sim.rng.get("fl.dp"),
                 dp_accountant=sim.dp_accountant,
+                engine=config.training.engine,
             )
         final_w = result.w
         # Realized latencies: the band was shared by the actual uploaders
@@ -420,9 +421,14 @@ def run_experiment(
 
         # Refresh the 0-lookahead observables for the next epoch.
         tau_last = np.where(available, tau_real, tau_last)
-        new_losses = np.full(m, np.nan)
-        for k in np.flatnonzero(available):
-            new_losses[k] = sim.clients[k].local_loss(sim.server.w)
+        # The round already swept every available client's loss at the
+        # final model for its population loss; reuse instead of recomputing.
+        if result.local_losses is not None:
+            new_losses = result.local_losses.copy()
+        else:
+            new_losses = np.full(m, np.nan)
+            for k in np.flatnonzero(available):
+                new_losses[k] = sim.clients[k].local_loss(sim.server.w)
         local_losses = np.where(np.isnan(new_losses), local_losses, new_losses)
 
         trace.append(

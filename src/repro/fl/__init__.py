@@ -16,6 +16,11 @@ Implements the paper's FL process:
 """
 
 from repro.fl.dane import DaneWorkspace, dane_surrogate_value, dane_local_step
+from repro.fl.batched import (
+    BatchedClientEngine,
+    BatchedSequentialKernel,
+    batched_local_losses,
+)
 from repro.fl.client import FLClient
 from repro.fl.server import FLServer
 from repro.fl.convergence import (
@@ -56,6 +61,9 @@ __all__ = [
     "DaneWorkspace",
     "dane_surrogate_value",
     "dane_local_step",
+    "BatchedClientEngine",
+    "BatchedSequentialKernel",
+    "batched_local_losses",
     "FLClient",
     "FLServer",
     "estimate_local_accuracy",

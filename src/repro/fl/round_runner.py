@@ -11,6 +11,12 @@ The runner also records everything the FedL controller needs to observe
 *after* acting: per-client local accuracies ``η̂^i_{t,k}``, the participant
 loss ``F̃_t(w^{l_t})``, and the all-available-clients loss ``F_t(w^{l_t})``
 for constraint (3d).
+
+Two execution engines produce bit-identical results: ``"loop"`` runs the
+clients sequentially (the reference implementation), ``"batched"`` drives
+all local solves through :class:`repro.fl.batched.BatchedClientEngine` in
+stacked numpy ops.  ``"auto"`` (default) picks batched whenever the model
+supports it (dense ``Sequential`` stacks; CNNs fall back to the loop).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.fl.batched import BatchedClientEngine, batched_local_losses
 from repro.fl.client import FLClient
 from repro.fl.compression import FLOAT_BITS, compress_update
 from repro.fl.privacy import gaussian_mechanism
@@ -44,6 +51,11 @@ class RoundResult:
     upload_ratio: Optional[np.ndarray] = None   # (M,) mean compressed/full upload
                                         # size per participant (None → filled with
                                         # ones; 1.0 for non-participants)
+    local_losses: Optional[np.ndarray] = None   # (M,) F_{t,k}(w^{l_t}) for
+                                        # available clients, NaN otherwise —
+                                        # the per-client sweep behind
+                                        # population_loss, exposed so callers
+                                        # don't recompute it
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "w", np.asarray(self.w, dtype=float))
@@ -55,6 +67,10 @@ class RoundResult:
         else:
             object.__setattr__(
                 self, "upload_ratio", np.asarray(self.upload_ratio, dtype=float)
+            )
+        if self.local_losses is not None:
+            object.__setattr__(
+                self, "local_losses", np.asarray(self.local_losses, dtype=float)
             )
 
 
@@ -70,6 +86,7 @@ def run_federated_round(
     dp_spec: "DPSpec | None" = None,
     dp_rng: np.random.Generator | None = None,
     dp_accountant: "PrivacyAccountant | None" = None,
+    engine: str = "auto",
 ) -> RoundResult:
     """Run ``iterations`` global iterations with the given participants.
 
@@ -80,10 +97,14 @@ def run_federated_round(
     (standard FedAvg).  ``compression`` (a
     :class:`repro.fl.compression.CompressionSpec`) lossy-compresses every
     upload before aggregation and reports the realized size ratios so the
-    latency model can charge the smaller payloads.
+    latency model can charge the smaller payloads.  ``engine`` selects the
+    local-solve executor: ``"loop"`` (sequential reference), ``"batched"``
+    (vectorized; raises if the model is unsupported), or ``"auto"``.
     """
     if aggregation not in ("uniform", "weighted"):
         raise ValueError(f"unknown aggregation {aggregation!r}")
+    if engine not in ("auto", "loop", "batched"):
+        raise ValueError(f"unknown engine {engine!r}")
     sel = np.asarray(selected_mask, dtype=bool)
     avail = np.asarray(available_mask, dtype=bool)
     if sel.shape != avail.shape or sel.size != len(clients):
@@ -95,13 +116,30 @@ def run_federated_round(
         raise ValueError("at least one client must be selected")
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    batched_engine: Optional[BatchedClientEngine] = None
+    if engine != "loop":
+        supported = BatchedClientEngine.supported(server.model, participants)
+        if engine == "batched" and not supported:
+            raise ValueError("batched engine does not support this model")
+        if supported:
+            batched_engine = BatchedClientEngine(server.model, participants)
 
     tel = get_telemetry()
     num_available = int(avail.sum())
+    # Participant sample sizes, computed once and reused for the weighted
+    # aggregation and the participant-loss weights below.
+    part_sizes = [c.num_samples for c in participants]
+    sample_counts = part_sizes if aggregation == "weighted" else None
+
+    def participant_grads() -> List[np.ndarray]:
+        if batched_engine is not None:
+            # Also primes the engine's cache so the next iteration's solve
+            # reuses these gradients instead of recomputing them.
+            return batched_engine.local_grads(server.w)
+        return [c.local_grad(server.w) for c in participants]
+
     # Initial aggregated gradient at the incoming model.
-    global_grad = FLServer.aggregate_gradients(
-        [c.local_grad(server.w) for c in participants]
-    )
+    global_grad = FLServer.aggregate_gradients(participant_grads())
     eta_by_client: Dict[int, float] = {}
     ratio_sum = np.zeros(len(clients))
     compressed_bits = 0.0
@@ -111,10 +149,20 @@ def run_federated_round(
         w_broadcast = server.w.copy()
         updates: List[np.ndarray] = []
         with tel.timer("round.local_solve"):
-            for client in participants:
-                d, eta_hat, _ = client.train_iteration(
+            solves = (
+                batched_engine.train_iteration_all(
                     w_broadcast, global_grad, target_eta=target_eta
                 )
+                if batched_engine is not None
+                else None
+            )
+            for pos, client in enumerate(participants):
+                if solves is not None:
+                    d, eta_hat, _ = solves[pos]
+                else:
+                    d, eta_hat, _ = client.train_iteration(
+                        w_broadcast, global_grad, target_eta=target_eta
+                    )
                 if dp_spec is not None:
                     # DP first (clip + noise on the raw update, [29]
                     # defense), then any compression of the privatized
@@ -146,27 +194,40 @@ def run_federated_round(
             server.aggregate_updates(
                 updates,
                 num_available=num_available,
-                sample_counts=(
-                    [c.num_samples for c in participants]
-                    if aggregation == "weighted"
-                    else None
-                ),
+                sample_counts=sample_counts,
             )
             prev_global_delta = server.w - w_broadcast
-            global_grad = FLServer.aggregate_gradients(
-                [c.local_grad(server.w) for c in participants]
-            )
+            global_grad = FLServer.aggregate_gradients(participant_grads())
 
     # Observables.
     local_etas = np.full(len(clients), np.nan)
     for cid, eta in eta_by_client.items():
         local_etas[cid] = eta
-    sizes = np.asarray([c.num_samples for c in participants], dtype=float)
+    # One loss sweep over the available clients feeds the participant loss,
+    # the population loss and the per-client observables.
+    avail_clients = [c for c in clients if avail[c.client_id]]
+    if not avail_clients:
+        raise ValueError("no available clients to evaluate")
+    if batched_engine is not None and BatchedClientEngine.supported(
+        server.model, avail_clients
+    ):
+        avail_losses = batched_local_losses(server.model, avail_clients, server.w)
+    else:
+        avail_losses = [c.local_loss(server.w) for c in avail_clients]
+    loss_by_id = {
+        c.client_id: float(v) for c, v in zip(avail_clients, avail_losses)
+    }
+    sizes = np.asarray(part_sizes, dtype=float)
     weights = sizes / sizes.sum()
     participant_loss = float(
-        weights @ np.asarray([c.local_loss(server.w) for c in participants])
+        weights @ np.asarray([loss_by_id[c.client_id] for c in participants])
     )
-    population_loss = server.weighted_population_loss(clients, avail)
+    pop_weights = np.asarray([c.num_samples for c in avail_clients], dtype=float)
+    pop_weights /= pop_weights.sum()
+    population_loss = float(pop_weights @ np.asarray(avail_losses))
+    local_losses = np.full(len(clients), np.nan)
+    for cid, value in loss_by_id.items():
+        local_losses[cid] = value
     upload_ratio = np.ones(len(clients))
     for c in participants:
         upload_ratio[c.client_id] = ratio_sum[c.client_id] / iterations
@@ -181,6 +242,7 @@ def run_federated_round(
                 "eta_max": max(eta_by_client.values()),
                 "upload_bits_full": full_bits,
                 "upload_bits_sent": compressed_bits,
+                "engine": "batched" if batched_engine is not None else "loop",
             },
         )
     return RoundResult(
@@ -193,4 +255,5 @@ def run_federated_round(
         test_loss=server.test_loss(),
         eta_max=max(eta_by_client.values()),
         upload_ratio=upload_ratio,
+        local_losses=local_losses,
     )

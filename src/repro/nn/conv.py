@@ -8,7 +8,7 @@ actual multiply runs in BLAS).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -16,16 +16,28 @@ from repro.nn.module import Module, Parameter
 
 __all__ = ["Conv2D", "im2col_indices", "im2col", "col2im"]
 
+#: Gather/scatter index tables keyed by (h, w, kh, kw, stride).  The
+#: tables depend only on geometry, yet the FL hot path evaluates the same
+#: conv shape thousands of times per experiment — memoize them (read-only
+#: so a cached table can never be mutated by a caller).
+_INDICES_CACHE: Dict[Tuple[int, int, int, int, int], Tuple[np.ndarray, np.ndarray, int, int]] = {}
+_FLAT_PIX_CACHE: Dict[Tuple[int, int, int, int, int], np.ndarray] = {}
+
 
 def im2col_indices(
     h: int, w: int, kh: int, kw: int, stride: int
 ) -> Tuple[np.ndarray, np.ndarray, int, int]:
-    """Row/column gather indices for im2col.
+    """Row/column gather indices for im2col (memoized by geometry).
 
     Returns ``(rows, cols, out_h, out_w)`` where ``rows``/``cols`` have
     shape ``(out_h * out_w, kh * kw)``: entry [p, q] is the input pixel
-    feeding kernel offset q of output position p.
+    feeding kernel offset q of output position p.  The returned arrays
+    are shared and read-only.
     """
+    key = (h, w, kh, kw, stride)
+    cached = _INDICES_CACHE.get(key)
+    if cached is not None:
+        return cached
     out_h = (h - kh) // stride + 1
     out_w = (w - kw) // stride + 1
     if out_h < 1 or out_w < 1:
@@ -36,7 +48,22 @@ def im2col_indices(
     off_c = np.tile(np.arange(kw), kh)
     rows = base_r[:, None] + off_r[None, :]
     cols = base_c[:, None] + off_c[None, :]
-    return rows, cols, out_h, out_w
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    _INDICES_CACHE[key] = (rows, cols, out_h, out_w)
+    return _INDICES_CACHE[key]
+
+
+def _col2im_flat_pix(h: int, w: int, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Flat pixel indices for the col2im scatter-add (memoized)."""
+    key = (h, w, kh, kw, stride)
+    flat = _FLAT_PIX_CACHE.get(key)
+    if flat is None:
+        rows, cols, _, _ = im2col_indices(h, w, kh, kw, stride)
+        flat = (rows * w + cols).ravel()                 # (P*KK,)
+        flat.setflags(write=False)
+        _FLAT_PIX_CACHE[key] = flat
+    return flat
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> Tuple[np.ndarray, int, int]:
@@ -56,13 +83,11 @@ def col2im(
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add patches back to image shape."""
     n, h, w, c = x_shape
-    rows, idx_cols, out_h, out_w = im2col_indices(h, w, kh, kw, stride)
-    patches = cols.reshape(n, out_h * out_w, kh * kw, c)
     out = np.zeros(x_shape, dtype=cols.dtype)
     # scatter-add via flat indices (np.add.at handles duplicates correctly)
-    flat_pix = (rows * w + idx_cols).ravel()             # (P*KK,)
+    flat_pix = _col2im_flat_pix(h, w, kh, kw, stride)
     out_flat = out.reshape(n, h * w, c)
-    np.add.at(out_flat, (slice(None), flat_pix), patches.reshape(n, -1, c))
+    np.add.at(out_flat, (slice(None), flat_pix), cols.reshape(n, flat_pix.size, c))
     return out
 
 
@@ -89,6 +114,7 @@ class Conv2D(Module):
         self.bias = Parameter(np.zeros(out_channels), name="conv.bias")
         self.stride = stride
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+        self._col_buf: Optional[np.ndarray] = None
 
     def parameters(self) -> List[Parameter]:
         return [self.kernel, self.bias]
@@ -99,11 +125,22 @@ class Conv2D(Module):
                 f"Conv2D expected (N, H, W, {self.kernel.value.shape[2]}), got {x.shape}"
             )
         kh, kw, c_in, c_out = self.kernel.value.shape
-        cols, out_h, out_w = im2col(x, kh, kw, self.stride)
+        n, h, w, _ = x.shape
+        _, _, out_h, out_w = im2col_indices(h, w, kh, kw, self.stride)
+        flat_pix = _col2im_flat_pix(h, w, kh, kw, self.stride)
+        # Gather patches through a preallocated buffer (same values as the
+        # fancy-index path in :func:`im2col`, no fresh allocation per call).
+        x_flat = np.ascontiguousarray(x, dtype=float).reshape(n, h * w, c_in)
+        buf = self._col_buf
+        if buf is None or buf.shape != (n, flat_pix.size, c_in):
+            buf = np.empty((n, flat_pix.size, c_in))
+            self._col_buf = buf
+        np.take(x_flat, flat_pix, axis=1, out=buf)
+        cols = buf.reshape(n, out_h * out_w, kh * kw * c_in)
         w_mat = self.kernel.value.reshape(kh * kw * c_in, c_out)
         out = cols @ w_mat + self.bias.value        # (N, P, C_out)
         self._cache = (cols, x.shape, out_h, out_w)
-        return out.reshape(x.shape[0], out_h, out_w, c_out)
+        return out.reshape(n, out_h, out_w, c_out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:

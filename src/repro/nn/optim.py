@@ -37,11 +37,17 @@ class SGD:
         self,
         lr: float | Schedule = 0.05,
         momentum: float = 0.0,
+        in_place: bool = False,
     ) -> None:
         if not (0.0 <= momentum < 1.0):
             raise ValueError("momentum must be in [0, 1)")
         self.schedule: Schedule = lr if callable(lr) else constant_schedule(lr)
         self.momentum = momentum
+        # In-place mode updates ``w`` (and the velocity buffer) without
+        # allocating a fresh vector per step — the caller owns ``w`` and
+        # must tolerate mutation.  The arithmetic is identical: the same
+        # elementwise ops run, only the destination buffer changes.
+        self.in_place = bool(in_place)
         self._velocity: np.ndarray | None = None
         self._step = 0
 
@@ -50,16 +56,32 @@ class SGD:
         self._step = 0
 
     def step(self, w: np.ndarray, grad: np.ndarray) -> np.ndarray:
-        """One update; returns the new parameter vector (does not mutate w)."""
-        w = np.asarray(w, dtype=float)
+        """One update; returns the new parameter vector.
+
+        Allocates a fresh vector unless ``in_place`` was set, in which
+        case ``w`` is mutated and returned (``w`` must then be a float
+        ndarray, not a list or an int array).
+        """
+        if not self.in_place:
+            w = np.asarray(w, dtype=float)
+        elif not (isinstance(w, np.ndarray) and w.dtype == np.float64):
+            raise ValueError("in_place SGD requires a float64 ndarray")
         grad = np.asarray(grad, dtype=float)
         if grad.shape != w.shape:
             raise ValueError("gradient shape mismatch")
         lr = self.schedule(self._step)
         self._step += 1
         if self.momentum == 0.0:
+            if self.in_place:
+                w -= lr * grad
+                return w
             return w - lr * grad
         if self._velocity is None or self._velocity.shape != w.shape:
-            self._velocity = np.zeros_like(w)
+            self._velocity = np.zeros_like(w, dtype=float)
+        if self.in_place:
+            self._velocity *= self.momentum
+            self._velocity -= lr * grad
+            w += self._velocity
+            return w
         self._velocity = self.momentum * self._velocity - lr * grad
         return w + self._velocity

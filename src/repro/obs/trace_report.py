@@ -147,6 +147,26 @@ def trajectory_section(events: Sequence[Event], run: str, chart: bool = True) ->
     return "\n".join(lines)
 
 
+def _warm_start_summary(counters: Mapping[str, Any]) -> Optional[str]:
+    """One-line solver warm-start digest from the registry counters.
+
+    Only rendered when the trace recorded warm-start activity (the
+    counters come from :meth:`OnlineLearner.descent_step`).
+    """
+    hits = _num(counters.get("solver.warm_start_hits", 0), 0.0)
+    if not hits:
+        return None
+    saved = _num(counters.get("solver.iterations_saved", 0), 0.0)
+    total = _num(counters.get("solver.iterations", 0), 0.0)
+    line = (
+        f"solver warm-start: {hits:.0f} warm solves, "
+        f"{saved:.0f} iterations saved ({saved / hits:.1f}/solve)"
+    )
+    if total:
+        line += f", {total:.0f} descent iterations total"
+    return line
+
+
 def render_trace(
     directory: str | Path,
     run: Optional[str] = None,
@@ -191,6 +211,9 @@ def render_trace(
                     for name, value in sorted(counters.items())
                 )
             )
+        warm_line = _warm_start_summary(counters)
+        if warm_line:
+            sections.append(warm_line)
         if manifest["workers"]:
             sections.append(
                 "worker utilization\n"

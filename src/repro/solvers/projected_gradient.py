@@ -1,20 +1,55 @@
-"""Projected gradient descent with Armijo backtracking.
+"""Accelerated projected gradient descent (FISTA with safeguards).
 
 This is the workhorse used by default to solve FedL's per-epoch descent
 step (paper eq. 8): a smooth convex objective over a projectable convex set.
-The projection operator is supplied by the caller (typically a Dykstra
-composition of the box, budget and participation sets from
-:mod:`repro.solvers.projections`).
+The projection operator is supplied by the caller (typically the exact
+KKT projection of :class:`repro.core.problem.FedLProblem`).
+
+The per-epoch subproblem's Hessian is ``(1/β)·I`` plus a bounded bilinear
+coupling, i.e. moderately ill-conditioned when β is large.  Plain projected
+gradient contracts at ``(κ−1)/(κ+1)`` per iteration and routinely exhausts
+its iteration budget; Nesterov extrapolation improves the rate to
+``(√κ−1)/(√κ+1)``, which on the same subproblems converges in a fraction
+of the iterations.  Two safeguards keep the classical guarantees:
+
+* **Monotone guard** — if the extrapolated step fails to decrease the
+  objective below the best iterate, the momentum is discarded and the
+  step is retaken from the best iterate (a plain projected-gradient step,
+  which provably decreases).
+* **Gradient restart** (O'Donoghue & Candès) — momentum is zeroed when
+  it points against the latest displacement, preventing the ripples
+  FISTA exhibits on strongly convex problems.
+
+Consecutive epoch subproblems differ only by O(β) perturbations of the
+prox center and the dual weights, so the solver optionally accepts a
+:class:`ProjectedGradientState` carried over from the previous solve: the
+last accepted step size seeds the backtracking (instead of re-halving
+from ``step0`` every epoch) and, when the previous solution already met
+the tolerance, the iteration cap shrinks.  A cold call (``state=None``)
+is unchanged.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
-__all__ = ["ProjectedGradientResult", "projected_gradient"]
+__all__ = [
+    "ProjectedGradientResult",
+    "ProjectedGradientState",
+    "projected_gradient",
+]
+
+#: Cap on step halvings per iteration (0.5^40 ≈ 9e-13 · step0).
+MAX_BACKTRACKS = 40
+
+#: Iteration cap used once the previous epoch's solve already met the
+#: tolerance (warm mode only): successive subproblems are O(β) apart, so
+#: a converged predecessor makes long solves pointless.
+WARM_ITERS_FLOOR = 25
 
 
 @dataclass(frozen=True)
@@ -26,9 +61,25 @@ class ProjectedGradientResult:
     iterations: int
     converged: bool
     grad_norm: float
+    step: float = 1.0           # last accepted step size
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+
+
+@dataclass(frozen=True)
+class ProjectedGradientState:
+    """Carry-over between consecutive related solves (warm starting)."""
+
+    step: float = 1.0           # last accepted step of the prior solve
+    residual: float = math.inf  # prior solve's projected-gradient norm
+    iterations: int = 0         # iterations the prior solve used
+
+    @staticmethod
+    def from_result(res: ProjectedGradientResult) -> "ProjectedGradientState":
+        return ProjectedGradientState(
+            step=res.step, residual=res.grad_norm, iterations=res.iterations
+        )
 
 
 def projected_gradient(
@@ -39,42 +90,107 @@ def projected_gradient(
     max_iters: int = 200,
     tol: float = 1e-8,
     step0: float = 1.0,
+    state: Optional[ProjectedGradientState] = None,
 ) -> ProjectedGradientResult:
     """Minimize ``objective`` over ``{x : x = project(x)}``.
 
-    Each iteration takes a gradient step, projects, and accepts the move by
-    Armijo backtracking *on the projected arc* (the step size scales the
-    gradient before projection).  Convergence is declared when the
-    projected-gradient displacement falls below ``tol``.
+    Each iteration takes a gradient step from the extrapolated point,
+    projects, and accepts the move by backtracking against the quadratic
+    upper bound ``f(y) + ∇f(y)ᵀd + ‖d‖²/(2t)`` (the FISTA line search;
+    at zero momentum this is strictly stronger than Armijo decrease).
+    Convergence is declared when the iterate displacement falls below
+    ``tol`` relative to the iterate norm.
+
+    ``state`` (optional) warm-starts the solve from a previous related
+    solve: the initial trial step is seeded from the previously accepted
+    one, and the iteration budget adapts to the previous residual.
     """
+    if state is not None:
+        # Seed backtracking just above the previously accepted step: the
+        # first trial then succeeds (or halves once) instead of walking
+        # down from step0.
+        step0 = min(step0, max(state.step * 2.0, 1e-9))
+        if state.residual <= tol:
+            max_iters = min(max_iters, max(WARM_ITERS_FLOOR, state.iterations + 5))
     x = project(np.asarray(x0, dtype=float))
     fx = objective(x)
+    y, fy = x, fx
+    theta = 1.0
     step = step0
     converged = False
     it = 0
+    clean_accepts = 0
     for it in range(1, max_iters + 1):
-        g = gradient(x)
-        # Trial step with backtracking on the projected point.
+        g = gradient(y)
         t = step
         accepted = False
-        for _ in range(40):
-            x_new = project(x - t * g)
+        halved = False
+        for _ in range(MAX_BACKTRACKS):
+            x_new = project(y - t * g)
             f_new = objective(x_new)
-            # Sufficient decrease relative to the actual displacement.
-            disp = x_new - x
-            if f_new <= fx + 1e-4 * float(g @ disp) + 1e-15:
+            d = x_new - y
+            # Quadratic upper-bound test: holds for any t <= 1/L, and at
+            # y == x implies f_new <= fx − ‖d‖²/(2t) (strict decrease).
+            if f_new <= fy + float(g @ d) + float(d @ d) / (2.0 * t) + 1e-15:
                 accepted = True
                 break
             t *= 0.5
+            halved = True
+        if accepted and f_new > fx and y is not x:
+            # Monotone guard: the extrapolated step went uphill relative
+            # to the best iterate.  Drop the momentum and retake the step
+            # from x itself.
+            theta = 1.0
+            y, fy = x, fx
+            g = gradient(y)
+            t = step
+            accepted = False
+            for _ in range(MAX_BACKTRACKS):
+                x_new = project(y - t * g)
+                f_new = objective(x_new)
+                d = x_new - y
+                if f_new <= fy + float(g @ d) + float(d @ d) / (2.0 * t) + 1e-15:
+                    accepted = True
+                    break
+                t *= 0.5
+                halved = True
         if not accepted:
-            # No progress possible at any tried step: projected stationary.
-            converged = True
-            break
-        displacement = float(np.linalg.norm(x_new - x))
+            if y is x:
+                # No progress possible at any tried step from the best
+                # iterate: projected stationary.
+                converged = True
+                break
+            # Bound failed only at the extrapolated point; restart the
+            # momentum and try again next iteration.
+            theta = 1.0
+            y, fy = x, fx
+            continue
+        disp = x_new - x
+        displacement = math.sqrt(float(disp @ disp))
+        # Gradient-style restart: momentum pointing against the latest
+        # displacement means we overshot the valley — zero it.
+        restart = float((y - x_new) @ disp) > 0.0
+        theta_new = 1.0 if restart else 0.5 * (1.0 + math.sqrt(1.0 + 4.0 * theta * theta))
+        gamma = 0.0 if restart else (theta - 1.0) / theta_new
+        y = x_new + gamma * (x_new - x)
+        fy = objective(y) if gamma != 0.0 else f_new
+        theta = theta_new
         x, fx = x_new, f_new
-        # Mild step-size recovery so we don't stay tiny forever.
-        step = min(step0, t * 2.0)
-        if displacement <= tol * (1.0 + float(np.linalg.norm(x))):
+        if gamma == 0.0:
+            y = x                   # keep the `y is x` identity for the guards
+        # Step-size recovery: probe a larger step only after a few clean
+        # accepts in a row.  Probing every iteration means the first trial
+        # predictably fails and every iteration pays double the projection
+        # and objective work just to re-learn the same step.
+        if halved:
+            clean_accepts = 0
+            step = t
+        else:
+            clean_accepts += 1
+            if clean_accepts >= 3:
+                clean_accepts = 0
+                step = min(step0, t * 2.0)
+        if displacement <= tol * (1.0 + math.sqrt(float(x @ x))):
             converged = True
             break
     g = gradient(x)
@@ -85,5 +201,6 @@ def projected_gradient(
         fun=fx,
         iterations=it,
         converged=converged,
-        grad_norm=float(np.linalg.norm(pg)),
+        grad_norm=math.sqrt(float(pg @ pg)),
+        step=step,
     )

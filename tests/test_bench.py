@@ -1,0 +1,178 @@
+"""The ``repro bench`` harness: report shape, regression gate, in-place SGD."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.bench import (
+    SCHEMA_VERSION,
+    bench_fl_engine,
+    bench_nn_kernels,
+    bench_solver,
+    check_regression,
+    format_report,
+    load_report,
+    run_bench,
+    save_report,
+)
+from repro.nn.optim import SGD
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """One real (tiny) bench run shared by the structural tests."""
+    return run_bench(quick=True, num_clients=8, max_epochs=2, seed=0)
+
+
+class TestReportStructure:
+    def test_schema_and_sections(self, tiny_report):
+        assert tiny_report["schema_version"] == SCHEMA_VERSION
+        assert set(tiny_report) >= {"fl", "solver", "nn", "meta", "quick"}
+        assert tiny_report["meta"]["numpy"] == np.__version__
+
+    def test_fl_section_is_bit_identical(self, tiny_report):
+        fl = tiny_report["fl"]
+        assert fl["identical"] is True
+        assert fl["epochs"] > 0
+        assert fl["speedup_vs_loop"] > 0
+        assert fl["solver_iters_per_epoch"] > 0
+
+    def test_solver_section_counts_warm_hits(self, tiny_report):
+        solver = tiny_report["solver"]
+        assert solver["warm"]["warm_start_hits"] == solver["config"]["horizon"] - 1
+        assert solver["cold"]["warm_start_hits"] == 0
+        assert solver["warm_iter_ratio"] > 0
+
+    def test_nn_section_in_place_sgd_exact(self, tiny_report):
+        assert tiny_report["nn"]["sgd_results_equal"] is True
+
+    def test_format_report_renders(self, tiny_report):
+        text = format_report(tiny_report)
+        assert "bit-identical results: True" in text
+        assert "[solver]" in text and "[nn]" in text
+
+    def test_round_trip_via_json(self, tiny_report, tmp_path):
+        path = save_report(tiny_report, tmp_path / "bench.json")
+        loaded = load_report(path)
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["fl"]["identical"] is True
+
+    def test_load_rejects_non_reports(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_report(bad)
+
+    def test_pre_pr_reference_recorded(self):
+        report = run_bench(
+            quick=True, num_clients=8, max_epochs=2, pre_pr_seconds=100.0
+        )
+        fl = report["fl"]
+        assert fl["pre_pr_seconds"] == 100.0
+        assert fl["speedup_vs_pre_pr"] == pytest.approx(
+            100.0 / fl["batched_seconds"]
+        )
+
+
+class TestRegressionGate:
+    def test_identical_report_passes(self, tiny_report):
+        assert check_regression(tiny_report, tiny_report) == []
+
+    def test_ratio_regression_detected(self, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        current["fl"]["speedup_vs_loop"] = (
+            tiny_report["fl"]["speedup_vs_loop"] * 0.5
+        )
+        failures = check_regression(current, tiny_report, tolerance=0.2)
+        assert any("fl.speedup_vs_loop" in f for f in failures)
+
+    def test_regression_within_tolerance_passes(self, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        current["fl"]["speedup_vs_loop"] = (
+            tiny_report["fl"]["speedup_vs_loop"] * 0.9
+        )
+        assert check_regression(current, tiny_report, tolerance=0.2) == []
+
+    def test_identity_break_always_fails(self, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        current["fl"]["identical"] = False
+        failures = check_regression(current, tiny_report)
+        assert any("bit-identical" in f for f in failures)
+
+    def test_sgd_mismatch_always_fails(self, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        current["nn"]["sgd_results_equal"] = False
+        failures = check_regression(current, tiny_report)
+        assert any("in-place SGD" in f for f in failures)
+
+    def test_schema_mismatch_fails(self, tiny_report):
+        baseline = copy.deepcopy(tiny_report)
+        baseline["schema_version"] = SCHEMA_VERSION + 1
+        failures = check_regression(tiny_report, baseline)
+        assert any("schema_version" in f for f in failures)
+
+    def test_strict_gates_throughput_only_on_matching_config(self, tiny_report):
+        slower = copy.deepcopy(tiny_report)
+        slower["fl"]["batched_epochs_per_s"] = (
+            tiny_report["fl"]["batched_epochs_per_s"] * 0.1
+        )
+        assert check_regression(slower, tiny_report) == []  # not strict
+        failures = check_regression(slower, tiny_report, strict=True)
+        assert any("batched_epochs_per_s" in f for f in failures)
+        # Different config: absolute throughputs are not comparable.
+        slower["fl"]["config"] = dict(
+            tiny_report["fl"]["config"], num_clients=999
+        )
+        assert check_regression(slower, tiny_report, strict=True) == []
+
+
+class TestLayerBenches:
+    def test_bench_solver_deterministic_iterations(self):
+        a = bench_solver(num_clients=6, horizon=8, seed=1)
+        b = bench_solver(num_clients=6, horizon=8, seed=1)
+        assert a["cold"]["iterations"] == b["cold"]["iterations"]
+        assert a["warm"]["iterations"] == b["warm"]["iterations"]
+
+    def test_bench_nn_kernels_shape(self):
+        nn = bench_nn_kernels(repeats=2, seed=0)
+        assert nn["sgd_results_equal"] is True
+        assert nn["conv_steps_per_s"] > 0
+
+    def test_bench_fl_engine_tiny(self):
+        fl = bench_fl_engine(num_clients=6, budget=60.0, max_epochs=2, seed=3)
+        assert fl["identical"] is True
+        assert fl["epochs"] >= 1
+
+
+class TestInPlaceSGD:
+    @pytest.mark.parametrize("momentum", [0.0, 0.5])
+    def test_matches_allocating_path_bitwise(self, rng, momentum):
+        w0 = rng.normal(size=1000)
+        plain = SGD(lr=0.1, momentum=momentum)
+        inplace = SGD(lr=0.1, momentum=momentum, in_place=True)
+        w_a, w_b = w0.copy(), w0.copy()
+        for _ in range(20):
+            g = rng.normal(size=1000)
+            w_a = plain.step(w_a, g)
+            w_b = inplace.step(w_b, g)
+            assert np.array_equal(w_a, w_b)
+
+    def test_in_place_mutates_the_caller_buffer(self, rng):
+        w = rng.normal(size=32)
+        out = SGD(lr=0.1, in_place=True).step(w, np.ones(32))
+        assert out is w
+
+    def test_in_place_rejects_non_float64(self):
+        opt = SGD(lr=0.1, in_place=True)
+        with pytest.raises(ValueError):
+            opt.step(np.arange(4), np.ones(4))
+        with pytest.raises(ValueError):
+            opt.step([1.0, 2.0], np.ones(2))
+
+    def test_allocating_path_leaves_input_untouched(self, rng):
+        w = rng.normal(size=32)
+        snapshot = w.copy()
+        SGD(lr=0.1).step(w, np.ones(32))
+        assert np.array_equal(w, snapshot)

@@ -1,0 +1,76 @@
+"""Memoized conv geometry caches and buffer reuse stay exact."""
+
+import numpy as np
+import pytest
+
+from repro.nn import conv as conv_mod
+from repro.nn.conv import Conv2D, im2col, im2col_indices
+
+
+@pytest.fixture(autouse=True)
+def clear_caches():
+    conv_mod._INDICES_CACHE.clear()
+    conv_mod._FLAT_PIX_CACHE.clear()
+    yield
+    conv_mod._INDICES_CACHE.clear()
+    conv_mod._FLAT_PIX_CACHE.clear()
+
+
+class TestIndexMemoization:
+    def test_same_geometry_returns_cached_tuple(self):
+        first = im2col_indices(8, 8, 3, 3, 1)
+        second = im2col_indices(8, 8, 3, 3, 1)
+        assert first is second
+        assert len(conv_mod._INDICES_CACHE) == 1
+
+    def test_distinct_geometries_get_distinct_entries(self):
+        im2col_indices(8, 8, 3, 3, 1)
+        im2col_indices(8, 8, 3, 3, 2)
+        im2col_indices(10, 8, 3, 3, 1)
+        assert len(conv_mod._INDICES_CACHE) == 3
+
+    def test_cached_indices_are_read_only(self):
+        rows, cols, _, _ = im2col_indices(6, 6, 3, 3, 1)
+        with pytest.raises(ValueError):
+            rows[0, 0] = 99
+        with pytest.raises(ValueError):
+            cols[0, 0] = 99
+
+    def test_im2col_matches_naive_gather(self, rng):
+        x = rng.normal(size=(2, 6, 6, 3))
+        cols, out_h, out_w = im2col(x, 3, 3, 1)
+        assert (out_h, out_w) == (4, 4)
+        # Patch (0, 0) of image 0 is the raw top-left 3x3 window.
+        naive = x[0, 0:3, 0:3, :].reshape(-1)
+        assert np.array_equal(cols[0, 0], naive)
+
+
+class TestConvBufferReuse:
+    def test_forward_backward_stable_across_cache_states(self, rng):
+        """Cold caches, warm caches, and a reused buffer all agree exactly."""
+        x = rng.normal(size=(3, 10, 10, 1))
+        layer = Conv2D(1, 4, 3, rng=np.random.default_rng(0))
+        out_cold = layer.forward(x)
+        grad_cold = layer.backward(np.ones_like(out_cold))
+        for _ in range(3):  # steady state reuses _col_buf and both caches
+            out_warm = layer.forward(x)
+            grad_warm = layer.backward(np.ones_like(out_warm))
+            assert np.array_equal(out_cold, out_warm)
+            assert np.array_equal(grad_cold, grad_warm)
+
+    def test_buffer_reallocates_on_batch_change(self, rng):
+        layer = Conv2D(1, 4, 3, rng=np.random.default_rng(0))
+        layer.forward(rng.normal(size=(2, 8, 8, 1)))
+        small = layer._col_buf
+        assert small is not None
+        layer.forward(rng.normal(size=(5, 8, 8, 1)))
+        assert layer._col_buf is not small
+
+    def test_two_layers_share_the_geometry_cache(self, rng):
+        x = rng.normal(size=(2, 9, 9, 1))
+        a = Conv2D(1, 3, 3, rng=np.random.default_rng(1))
+        b = Conv2D(1, 3, 3, rng=np.random.default_rng(2))
+        a.forward(x)
+        entries = len(conv_mod._INDICES_CACHE)
+        b.forward(x)
+        assert len(conv_mod._INDICES_CACHE) == entries

@@ -1,0 +1,159 @@
+"""Warm-started descent solves, constraint caching, and exact projections.
+
+The warm-start contract is *agreement*, not bit-identity: carrying the
+projected-gradient step-size/iteration state across epochs may change the
+iterate path, but on convex subproblems (modest duals) the warm and cold
+learners must land on the same minimizer to solver tolerance.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.online_learner import OnlineLearner
+from repro.core.problem import EpochInputs, FedLProblem
+from repro.obs import Telemetry, use_telemetry
+from repro.solvers.projected_gradient import (
+    ProjectedGradientState,
+    projected_gradient,
+)
+
+
+def random_inputs(rng, m=6, budget=1e6):
+    return EpochInputs(
+        tau=rng.uniform(0.1, 2.0, m),
+        costs=rng.uniform(0.5, 3.0, m),
+        available=np.ones(m, bool),
+        eta_hat=rng.uniform(0.1, 0.8, m),
+        loss_gap=float(rng.uniform(0.1, 0.5)),
+        loss_sensitivity=-rng.uniform(0.05, 0.2, m),
+        remaining_budget=budget,
+        min_participants=2,
+    )
+
+
+class TestWarmColdAgreement:
+    def test_warm_matches_cold_on_random_epochs(self):
+        """50 random epoch subproblems: warm and cold solutions agree.
+
+        Small dual step keeps μ modest, so every subproblem is strongly
+        convex and the minimizer unique — the only thing warm-starting may
+        change is the path, not the destination.
+        """
+        rng = np.random.default_rng(42)
+        m = 6
+        cold = OnlineLearner(m, beta=0.3, delta=0.05, rho_max=6.0, warm_start=False)
+        warm = OnlineLearner(m, beta=0.3, delta=0.05, rho_max=6.0, warm_start=True)
+        for t in range(50):
+            inputs = random_inputs(rng, m)
+            prob = FedLProblem(inputs, rho_max=6.0)
+            phi_c = cold.descent_step(inputs)
+            phi_w = warm.descent_step(inputs)
+            np.testing.assert_allclose(
+                phi_w.to_vector(), phi_c.to_vector(), atol=1e-4,
+                err_msg=f"epoch {t}",
+            )
+            # Keep the two learners on the same trajectory: identical
+            # realized h (use the cold decision for both ascents).
+            h = prob.h(phi_c)
+            cold.dual_ascent(h)
+            warm.dual_ascent(h)
+
+    def test_warm_state_is_carried(self):
+        rng = np.random.default_rng(7)
+        warm = OnlineLearner(4, beta=0.3, delta=0.05, warm_start=True)
+        assert warm._pg_state is None
+        warm.descent_step(random_inputs(rng, 4))
+        first = warm._pg_state
+        assert isinstance(first, ProjectedGradientState)
+        warm.descent_step(random_inputs(rng, 4))
+        assert warm._pg_state is not first
+
+    def test_cold_learner_keeps_no_state(self):
+        rng = np.random.default_rng(7)
+        cold = OnlineLearner(4, beta=0.3, delta=0.05, warm_start=False)
+        cold.descent_step(random_inputs(rng, 4))
+        assert cold._pg_state is None
+
+    def test_warm_hits_counted_in_telemetry(self):
+        rng = np.random.default_rng(3)
+        warm = OnlineLearner(4, beta=0.3, delta=0.05, warm_start=True)
+        hub = Telemetry(sink=io.StringIO(), run_id="test")
+        with use_telemetry(hub):
+            for _ in range(5):
+                inputs = random_inputs(rng, 4)
+                phi = warm.descent_step(inputs)
+                warm.dual_ascent(FedLProblem(inputs, rho_max=8.0).h(phi))
+        counters = hub.registry.counters
+        # First solve is cold; the remaining four hit the carried state.
+        assert counters.get("solver.warm_start_hits") == 4
+        assert counters.get("solver.iterations") > 0
+        assert "solver.iterations_saved" in counters
+
+    def test_warm_shrinks_iteration_cap_when_residual_small(self):
+        """A converged carried state caps max_iters near its iteration count."""
+        calls = {}
+
+        def objective(v):
+            return float(v @ v)
+
+        def gradient(v):
+            return 2.0 * v
+
+        state = ProjectedGradientState(step=0.25, residual=0.0, iterations=3)
+        res = projected_gradient(
+            objective, gradient, lambda v: v, x0=np.ones(3),
+            max_iters=500, tol=1e-10, state=state,
+        )
+        assert res.converged
+        # WARM_ITERS_FLOOR (25) bounds the shrunken cap.
+        assert res.iterations <= 25
+
+
+class TestConstraintMatrixCache:
+    def test_instance_cache_returns_same_object(self):
+        rng = np.random.default_rng(0)
+        prob = FedLProblem(random_inputs(rng, 5), rho_max=6.0)
+        a1, b1 = prob.constraint_matrix()
+        a2, b2 = prob.constraint_matrix()
+        assert a1 is a2 and b1 is b2
+
+    def test_matrix_encodes_box_budget_participation(self):
+        rng = np.random.default_rng(1)
+        inputs = random_inputs(rng, 4, budget=50.0)
+        prob = FedLProblem(inputs, rho_max=6.0)
+        a, b = prob.constraint_matrix()
+        m = inputs.num_clients
+        assert a.shape == (2 * (m + 1) + 2, m + 1)
+        # Every feasible-box point satisfies the box rows.
+        lo, hi = prob.box_bounds()
+        mid = (lo + hi) / 2.0
+        assert np.all(a[: 2 * (m + 1)] @ mid <= b[: 2 * (m + 1)] + 1e-12)
+
+
+class TestProjectionFeasibility:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_projection_lands_in_feasible_set(self, seed):
+        rng = np.random.default_rng(seed)
+        inputs = random_inputs(rng, 8, budget=float(rng.uniform(6.0, 30.0)))
+        prob = FedLProblem(inputs, rho_max=6.0)
+        lo, hi = prob.box_bounds()
+        for _ in range(20):
+            v = rng.normal(0.0, 3.0, 9)
+            x = prob.project(v)
+            assert np.all(x >= lo - 1e-8) and np.all(x <= hi + 1e-8)
+            assert float(np.concatenate([inputs.costs, [0.0]]) @ x) <= (
+                inputs.remaining_budget + 1e-6
+            )
+            assert float(x[:-1].sum()) >= inputs.min_participants - 1e-6
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_projection_idempotent(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        inputs = random_inputs(rng, 8, budget=float(rng.uniform(8.0, 30.0)))
+        prob = FedLProblem(inputs, rho_max=6.0)
+        for _ in range(10):
+            v = rng.normal(0.0, 3.0, 9)
+            x = prob.project(v)
+            np.testing.assert_allclose(prob.project(x), x, atol=1e-7)
