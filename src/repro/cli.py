@@ -1,8 +1,11 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro run      --policy FedL --dataset fmnist --budget 600 \
+                             [--telemetry out/trace]
+    python -m repro sim      --policy FedL --aggregation deadline \
+                             --deadline 0.05 --faults flaky-uplink \
                              [--telemetry out/trace]
     python -m repro compare  --dataset fmnist --budget 1200 [--non-iid]
     python -m repro sweep    --dataset fmnist --budgets 300 800 2000 \
@@ -12,6 +15,15 @@ Six subcommands::
     python -m repro regret   --horizons 25 50 100
     python -m repro bench    [--quick] [--out BENCH.json] \
                              [--check BENCH_PR3.json --tolerance 0.2]
+
+``sim`` is ``run`` on the event-driven network runtime
+(:mod:`repro.sim`): each round is simulated message-by-message with the
+chosen aggregation policy (sync barrier, deadline drop, K-quorum async)
+and fault profile (stragglers, upload retries, mid-round dropout), and
+``repro trace`` renders per-client round timelines from the recorded
+``sim.*`` events.  ``sweep`` accepts the same runtime knobs
+(``--engine des --aggregation ... --faults ...``) so grids can compare
+aggregation policies under faults.
 
 ``run``/``compare``/``sweep`` accept ``--save out.json`` to persist the
 traces/results (see :mod:`repro.experiments.persistence`).  ``sweep``
@@ -30,6 +42,7 @@ and semantic validation like non-positive budgets), 1 on runtime errors.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -37,6 +50,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import __version__
+from repro.config import SimConfig
 from repro.experiments.figures import accuracy_vs_time, run_policy_suite
 from repro.experiments.persistence import save_results, save_traces
 from repro.experiments.reporting import format_series, format_table
@@ -52,6 +66,8 @@ from repro.experiments.sweep import (
 from repro.experiments.tables import headline_claims
 from repro.obs import Telemetry, render_trace, use_telemetry
 from repro.rng import RngFactory
+from repro.sim.entities import AGGREGATION_POLICIES
+from repro.sim.faults import FAULT_PROFILES, ParticipationFloorError
 
 __all__ = ["main", "build_parser"]
 
@@ -94,6 +110,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a structured JSONL event trace + manifest "
                        "into DIR (render it with `repro trace DIR`)")
 
+    p_sim = sub.add_parser(
+        "sim",
+        help="run one policy on the event-driven network runtime "
+        "(message-level DES: stragglers, deadlines, retries, async)",
+    )
+    common(p_sim)
+    p_sim.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
+    p_sim.add_argument("--budget", type=float, default=800.0)
+    p_sim.add_argument("--aggregation", default="sync",
+                       choices=list(AGGREGATION_POLICIES),
+                       help="server aggregation policy for each round")
+    p_sim.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="round deadline (required with "
+                       "--aggregation deadline): updates arriving later "
+                       "are dropped, the round closes at the deadline")
+    p_sim.add_argument("--quorum", type=int, default=None, metavar="K",
+                       help="aggregate as soon as K updates arrive "
+                       "(required with --aggregation async)")
+    p_sim.add_argument("--faults", default="none",
+                       choices=sorted(FAULT_PROFILES),
+                       help="named fault profile (dropout hazard, upload "
+                       "failures + retries)")
+    p_sim.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="record sim.* round/client events for "
+                       "`repro trace DIR` per-client timelines")
+
     p_cmp = sub.add_parser("compare", help="run the four-policy paper suite")
     common(p_cmp)
     p_cmp.add_argument("--budget", type=float, default=1200.0)
@@ -122,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_swp.add_argument("--workers", type=positive_int, default=None,
                        help="worker processes (default: all cores; 1 = serial)")
+    p_swp.add_argument("--engine", default=None,
+                       choices=["loop", "batched", "des"],
+                       help="override the per-round training engine "
+                       "(des = event-driven network runtime)")
+    p_swp.add_argument("--aggregation", default=None,
+                       choices=list(AGGREGATION_POLICIES),
+                       help="DES aggregation policy (implies --engine des "
+                       "semantics; pair with --deadline/--quorum)")
+    p_swp.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="DES round deadline for --aggregation deadline")
+    p_swp.add_argument("--quorum", type=int, default=None, metavar="K",
+                       help="DES quorum for --aggregation async")
+    p_swp.add_argument("--faults", default=None,
+                       choices=sorted(FAULT_PROFILES),
+                       help="DES fault profile for every job")
     p_swp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                        help="reuse/store per-job results in this directory "
                        "(a second identical sweep only runs cache misses)")
@@ -198,6 +255,29 @@ def _validate_common(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _validate_sim_args(
+    aggregation: Optional[str],
+    deadline: Optional[float],
+    quorum: Optional[int],
+) -> Optional[str]:
+    """Semantic validation of the event-driven-runtime knobs (sim/sweep)."""
+    if aggregation == "deadline":
+        if deadline is None:
+            return "--aggregation deadline requires --deadline"
+        if deadline <= 0:
+            return "--deadline must be positive"
+    elif deadline is not None:
+        return "--deadline only applies with --aggregation deadline"
+    if aggregation == "async":
+        if quorum is None:
+            return "--aggregation async requires --quorum"
+        if quorum < 1:
+            return "--quorum must be >= 1"
+    elif quorum is not None:
+        return "--quorum only applies with --aggregation async"
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     error = _validate_common(args)
     if error:
@@ -231,6 +311,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         f"final_accuracy={tr.final_accuracy:.4f} "
         f"sim_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f}"
+    )
+    if args.save:
+        path = save_traces({tr.policy_name: tr}, args.save)
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    error = _validate_common(args) or _validate_sim_args(
+        args.aggregation, args.deadline, args.quorum
+    )
+    if error:
+        return _usage_error(error)
+    cfg = experiment_config(
+        dataset=args.dataset,
+        iid=not args.non_iid,
+        budget=args.budget,
+        seed=args.seed,
+        num_clients=args.clients,
+        min_participants=args.participants,
+        max_epochs=args.epochs,
+    )
+    cfg = dataclasses.replace(
+        cfg,
+        training=dataclasses.replace(cfg.training, engine="des"),
+        sim=SimConfig(
+            aggregation=args.aggregation,
+            deadline_s=args.deadline,
+            quorum=args.quorum,
+            faults=args.faults,
+        ),
+    )
+    policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
+    hub = (
+        Telemetry.for_directory(
+            args.telemetry, run_id=f"{args.policy}[seed={args.seed}]"
+        )
+        if args.telemetry
+        else None
+    )
+    try:
+        with use_telemetry(hub):
+            result = run_experiment(policy, cfg)
+    except ParticipationFloorError as exc:
+        print(f"repro: simulation aborted: {exc}", file=sys.stderr)
+        return 1
+    if hub is not None:
+        hub.finalize(
+            meta={
+                "command": "sim",
+                "policy": args.policy,
+                "seed": args.seed,
+                "aggregation": args.aggregation,
+                "faults": args.faults,
+            }
+        )
+        print(f"telemetry -> {args.telemetry}", file=sys.stderr)
+    tr = result.trace
+    print(
+        f"policy={tr.policy_name} engine=des aggregation={args.aggregation} "
+        f"faults={args.faults} epochs={len(tr)} stop={result.stop_reason}"
+    )
+    print(
+        f"final_accuracy={tr.final_accuracy:.4f} "
+        f"sim_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f} "
+        f"failed_clients={sum(r.num_failed for r in tr.records)}"
     )
     if args.save:
         path = save_traces({tr.policy_name: tr}, args.save)
@@ -285,12 +431,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    error = _validate_common(args)
+    error = _validate_common(args) or _validate_sim_args(
+        args.aggregation, args.deadline, args.quorum
+    )
     if error:
         return _usage_error(error)
+    engine = args.engine
+    if engine is None and any(
+        v is not None for v in (args.aggregation, args.faults)
+    ):
+        engine = "des"  # the runtime knobs only bind on the DES engine
     seeds = args.seeds if args.seeds else [args.seed]
     if not seeds:
         return _usage_error("--seeds must name at least one seed")
+    spec_kwargs = dict(
+        engine=engine,
+        aggregation=args.aggregation,
+        sim_deadline_s=args.deadline,
+        quorum=args.quorum,
+        fault_profile=args.faults,
+    )
     jobs = []
     for seed in seeds:
         for budget in args.budgets:
@@ -304,7 +464,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 max_epochs=args.epochs,
             )
             jobs.extend(
-                SweepJob(policy=PolicySpec(name=name), config=cfg)
+                SweepJob(policy=PolicySpec(name=name, **spec_kwargs), config=cfg)
                 for name in args.policies
             )
 
@@ -474,6 +634,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "sim": _cmd_sim,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,

@@ -25,6 +25,7 @@ __all__ = [
     "PopulationConfig",
     "DataConfig",
     "TrainingConfig",
+    "SimConfig",
     "FedLConfig",
     "ExperimentConfig",
 ]
@@ -176,7 +177,9 @@ class TrainingConfig:
         _require(0 < self.theta0 < 1, "theta0 in (0,1)")
         _require(self.theta > 0, "theta must be positive")
         _require(self.local_solver in ("dane", "fedprox"), "unknown local_solver")
-        _require(self.engine in ("auto", "loop", "batched"), "unknown engine")
+        _require(
+            self.engine in ("auto", "loop", "batched", "des"), "unknown engine"
+        )
         _require(0.0 <= self.momentum < 1.0, "momentum in [0,1)")
         _require(self.aggregation in ("uniform", "weighted"), "unknown aggregation")
         _require(
@@ -189,6 +192,48 @@ class TrainingConfig:
         if self.dp_noise_multiplier is not None:
             _require(self.dp_noise_multiplier > 0, "dp_noise_multiplier > 0")
         _require(self.dp_clip_norm > 0, "dp_clip_norm > 0")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Event-driven runtime knobs (``TrainingConfig.engine = "des"``).
+
+    Ignored by the closed-form loop/batched engines.  ``faults`` names a
+    preset from :data:`repro.sim.faults.FAULT_PROFILES`; under the
+    Markov availability model the preset's dropout hazard is replaced by
+    the chain's sojourn-consistent intra-round hazard.
+    """
+
+    aggregation: str = "sync"           # "sync" | "deadline" | "async"
+    deadline_s: Optional[float] = None  # per-iteration barrier deadline
+    quorum: Optional[int] = None        # async: aggregate after K uploads
+    faults: str = "none"                # named fault profile
+
+    def __post_init__(self) -> None:
+        _require(
+            self.aggregation in ("sync", "deadline", "async"),
+            "unknown sim aggregation",
+        )
+        if self.aggregation == "deadline":
+            _require(
+                self.deadline_s is not None and self.deadline_s > 0,
+                "deadline aggregation needs deadline_s > 0",
+            )
+        elif self.deadline_s is not None:
+            _require(self.deadline_s > 0, "deadline_s must be positive")
+        if self.aggregation == "async":
+            _require(
+                self.quorum is not None and self.quorum >= 1,
+                "async aggregation needs quorum >= 1",
+            )
+        # Lazy import: repro.sim.faults depends only on numpy, so this
+        # cannot cycle back into the config layer.
+        from repro.sim.faults import FAULT_PROFILES
+
+        _require(
+            self.faults in FAULT_PROFILES,
+            f"unknown fault profile (known: {sorted(FAULT_PROFILES)})",
+        )
 
 
 @dataclass(frozen=True)
@@ -234,6 +279,7 @@ class ExperimentConfig:
     population: PopulationConfig = field(default_factory=PopulationConfig)
     data: DataConfig = field(default_factory=DataConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
+    sim: SimConfig = field(default_factory=SimConfig)
     fedl: FedLConfig = field(default_factory=FedLConfig)
 
     def __post_init__(self) -> None:

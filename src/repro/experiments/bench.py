@@ -37,12 +37,15 @@ __all__ = [
     "bench_fl_engine",
     "bench_solver",
     "bench_nn_kernels",
+    "bench_sim",
     "run_bench",
     "check_regression",
     "format_report",
 ]
 
-SCHEMA_VERSION = 1
+# v2: adds the "sim" layer (event-driven runtime overhead vs the
+# closed-form latency model) — BENCH_PR4.json is the first v2 baseline.
+SCHEMA_VERSION = 2
 
 #: Ratio metrics gated by :func:`check_regression` regardless of config —
 #: both sides of each ratio are measured in the same process on the same
@@ -62,6 +65,7 @@ THROUGHPUT_KEYS = (
     ("fl", "batched_epochs_per_s"),
     ("solver", "warm_solves_per_s"),
     ("nn", "conv_steps_per_s"),
+    ("sim", "rounds_per_s"),
 )
 
 
@@ -290,6 +294,97 @@ def bench_nn_kernels(repeats: int = 30, seed: int = 0) -> Dict[str, Any]:
     }
 
 
+# -- layer 4: event-driven runtime ---------------------------------------------
+
+
+def bench_sim(
+    num_clients: int = 32,
+    iterations: int = 5,
+    rounds: int = 200,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """DES round simulation vs the closed-form latency model.
+
+    The DES engine replaces one closed-form ``epoch_latency`` evaluation
+    with a full message-level simulation, so its cost *is* its overhead
+    ratio — and its correctness anchor is that the fault-free sync answer
+    matches the closed form bit-for-bit on every round (``exact`` is part
+    of the report; :func:`check_regression` fails when it breaks).  A
+    second arm measures the fault machinery (retries/backoff) under the
+    ``flaky-uplink`` profile.
+    """
+    from repro.net.latency import client_latency, epoch_latency
+    from repro.sim import (
+        ParticipationFloorError,
+        SimRoundSpec,
+        fault_profile,
+        simulate_round,
+    )
+
+    rng = np.random.default_rng(seed)
+    draws = [
+        (rng.uniform(0.01, 3.0, num_clients), rng.uniform(0.005, 1.0, num_clients))
+        for _ in range(rounds)
+    ]
+    ids = np.arange(num_clients)
+    sel = np.ones(num_clients, bool)
+
+    t0 = time.perf_counter()
+    closed = [
+        epoch_latency(np.atleast_1d(client_latency(iterations, loc, cm)), sel)
+        for loc, cm in draws
+    ]
+    closed_s = time.perf_counter() - t0
+
+    exact = True
+    events = 0
+    t0 = time.perf_counter()
+    for (loc, cm), expected in zip(draws, closed):
+        out = simulate_round(
+            SimRoundSpec(client_ids=ids, tau_loc=loc, tau_cm=cm,
+                         iterations=iterations)
+        )
+        exact = exact and out.completion_time == expected
+        events += len(out.timeline)
+    des_s = time.perf_counter() - t0
+
+    flaky = fault_profile("flaky-uplink")
+    fault_rng = np.random.default_rng(seed + 1)
+    retries = 0
+    floored = 0
+    t0 = time.perf_counter()
+    for loc, cm in draws:
+        try:
+            out = simulate_round(
+                SimRoundSpec(client_ids=ids, tau_loc=loc, tau_cm=cm,
+                             iterations=iterations, faults=flaky),
+                rng=fault_rng,
+            )
+            retries += out.num_retries
+        except ParticipationFloorError:  # pragma: no cover - measure-zero
+            floored += 1
+    faulted_s = time.perf_counter() - t0
+
+    return {
+        "config": {
+            "num_clients": num_clients,
+            "iterations": iterations,
+            "rounds": rounds,
+            "seed": seed,
+        },
+        "exact": bool(exact),
+        "closed_form_seconds": closed_s,
+        "des_seconds": des_s,
+        "overhead_ratio": des_s / closed_s if closed_s > 0 else float("inf"),
+        "rounds_per_s": rounds / des_s if des_s > 0 else 0.0,
+        "events_per_round": events / rounds if rounds else 0.0,
+        "faulted_seconds": faulted_s,
+        "faulted_rounds_per_s": rounds / faulted_s if faulted_s > 0 else 0.0,
+        "faulted_retries": retries,
+        "faulted_floored_rounds": floored,
+    }
+
+
 # -- assembly ------------------------------------------------------------------
 
 
@@ -324,6 +419,9 @@ def run_bench(
         num_clients=min(clients, 30), horizon=20 if quick else 50, seed=seed
     )
     nn = bench_nn_kernels(repeats=10 if quick else 30, seed=seed)
+    sim = bench_sim(
+        num_clients=min(clients, 32), rounds=50 if quick else 200, seed=seed
+    )
     return {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
@@ -335,6 +433,7 @@ def run_bench(
         "fl": fl,
         "solver": solver,
         "nn": nn,
+        "sim": sim,
     }
 
 
@@ -356,6 +455,11 @@ def check_regression(
         failures.append("fl: loop and batched engines are no longer bit-identical")
     if not current.get("nn", {}).get("sgd_results_equal", False):
         failures.append("nn: in-place SGD no longer matches the allocating path")
+    if not current.get("sim", {}).get("exact", False):
+        failures.append(
+            "sim: DES no longer reproduces the closed-form epoch latency "
+            "bit-exactly"
+        )
     if int(baseline.get("schema_version", 0)) != SCHEMA_VERSION:
         failures.append(
             f"baseline schema_version {baseline.get('schema_version')} "
@@ -390,6 +494,7 @@ def check_regression(
 def format_report(report: Dict[str, Any]) -> str:
     """Human-readable summary of :func:`run_bench` output."""
     fl, solver, nn = report["fl"], report["solver"], report["nn"]
+    sim = report.get("sim")
     lines = [
         f"repro bench (schema v{report['schema_version']}"
         + (", quick)" if report.get("quick") else ")"),
@@ -430,6 +535,21 @@ def format_report(report: Dict[str, Any]) -> str:
         f"({nn['sgd_in_place_speedup']:.2f}x, results equal: "
         f"{nn['sgd_results_equal']})",
     ]
+    if sim is not None:
+        lines += [
+            "",
+            f"[sim]     {sim['config']['num_clients']} clients x "
+            f"{sim['config']['iterations']} iterations x "
+            f"{sim['config']['rounds']} rounds",
+            f"          des {sim['des_seconds']:.3f}s "
+            f"({sim['rounds_per_s']:.0f} rounds/s, "
+            f"{sim['events_per_round']:.0f} events/round)   "
+            f"closed form {sim['closed_form_seconds']:.3f}s   "
+            f"overhead {sim['overhead_ratio']:.1f}x",
+            f"          bit-exact vs closed form: {sim['exact']}   "
+            f"flaky-uplink {sim['faulted_rounds_per_s']:.0f} rounds/s "
+            f"({sim['faulted_retries']} retries)",
+        ]
     return "\n".join(lines)
 
 

@@ -25,6 +25,7 @@ from repro.config import (
     FedLConfig,
     NetworkConfig,
     PopulationConfig,
+    SimConfig,
     TrainingConfig,
 )
 from repro.experiments.metrics import EpochRecord, Trace
@@ -46,7 +47,9 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
-RESULT_SCHEMA_VERSION = 1
+# v2: configs gained the event-driven-runtime section ("sim"); results
+# written by v1 (no "sim" key) still load with the default SimConfig.
+RESULT_SCHEMA_VERSION = 2
 
 
 def trace_to_dict(trace: Trace) -> dict:
@@ -123,6 +126,7 @@ def config_from_dict(data: Mapping) -> ExperimentConfig:
         ),
         data=DataConfig(**data["data"]),
         training=TrainingConfig(**_with_tuples(data["training"], "hidden_units")),
+        sim=SimConfig(**data.get("sim", {})),
         fedl=FedLConfig(**data["fedl"]),
     )
 
@@ -144,7 +148,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
 def result_from_dict(data: Mapping) -> ExperimentResult:
     """Inverse of :func:`result_to_dict`; validates the schema version."""
     version = data.get("schema")
-    if version != RESULT_SCHEMA_VERSION:
+    if version not in (1, RESULT_SCHEMA_VERSION):
         raise ValueError(f"unsupported result schema: {version!r}")
     return ExperimentResult(
         trace=trace_from_dict(data["trace"]),
@@ -168,7 +172,7 @@ def save_results(results: Mapping[str, ExperimentResult], path: str | Path) -> P
 def load_results(path: str | Path) -> Dict[str, ExperimentResult]:
     """Read a bundle written by :func:`save_results`."""
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema") != RESULT_SCHEMA_VERSION:
+    if payload.get("schema") not in (1, RESULT_SCHEMA_VERSION):
         raise ValueError(f"unsupported bundle schema: {payload.get('schema')!r}")
     return {
         name: result_from_dict(data) for name, data in payload["results"].items()

@@ -21,6 +21,7 @@ experiment itself runs as fast as NumPy allows.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -51,6 +52,8 @@ from repro.net import ChannelModel, achievable_rate, compute_latency, transmissi
 from repro.nn import build_model
 from repro.obs import get_telemetry
 from repro.rng import RngFactory
+from repro.sim.entities import SimRoundSpec
+from repro.sim.faults import fault_profile
 
 __all__ = ["Simulation", "ExperimentResult", "run_experiment"]
 
@@ -198,7 +201,26 @@ class Simulation:
         selected: Optional[np.ndarray] = None,
         upload_ratio: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Per-iteration latency τ_loc + τ_cm for every client.
+        """Per-iteration latency τ_loc + τ_cm for every client (see
+        :meth:`realized_tau_components` for the split)."""
+        tau_loc, tau_cm = self.realized_tau_components(
+            data_counts,
+            channel_state,
+            num_sharing,
+            selected=selected,
+            upload_ratio=upload_ratio,
+        )
+        return tau_loc + tau_cm
+
+    def realized_tau_components(
+        self,
+        data_counts: np.ndarray,
+        channel_state,
+        num_sharing: int,
+        selected: Optional[np.ndarray] = None,
+        upload_ratio: Optional[np.ndarray] = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-iteration ``(τ_loc, τ_cm)`` for every client.
 
         With the ``"equal"`` bandwidth policy (paper default) every client
         is priced at an equal ``B / num_sharing`` FDMA share.  Under
@@ -232,7 +254,7 @@ class Simulation:
                 sel = np.asarray(selected, dtype=bool)
                 slot_total = float(tau_cm[sel].sum())
                 tau_cm = np.where(sel, slot_total, tau_cm)
-            return np.asarray(tau_loc, dtype=float) + tau_cm
+            return np.asarray(tau_loc, dtype=float), tau_cm
         share = total / max(1, num_sharing)
         rates = np.asarray(
             achievable_rate(share, channel_state.snr_per_hz()), dtype=float
@@ -263,7 +285,7 @@ class Simulation:
         if upload_ratio is not None:
             # Compressed uploads shrink the payload proportionally.
             tau_cm = tau_cm * np.asarray(upload_ratio, dtype=float)
-        return np.asarray(tau_loc, dtype=float) + tau_cm
+        return np.asarray(tau_loc, dtype=float), tau_cm
 
     @property
     def bits_per_sample(self) -> float:
@@ -388,6 +410,47 @@ def run_experiment(
         # (fractional ρ when the policy provides one, else the integer l_t).
         rho_eff = decision.rho if np.isfinite(decision.rho) else float(decision.iterations)
         target_eta = max(0.0, 1.0 - 1.0 / max(rho_eff, 1.0))
+
+        # Event-driven engine: build the network timeline spec from the
+        # same τ components the closed-form latency below uses, so that a
+        # fault-free sync round reproduces epoch_latency bit-exactly.
+        use_des = config.training.engine == "des"
+        sim_spec = None
+        sim_rng = None
+        if use_des:
+            tau_loc_c, tau_cm_c = sim.realized_tau_components(
+                counts,
+                channel_state,
+                int(contributors.sum()),
+                selected=contributors,
+            )
+            profile = fault_profile(config.sim.faults)
+            if profile.dropout_hazard > 0.0 and isinstance(
+                sim.availability, MarkovAvailabilityProcess
+            ):
+                # Sojourn-consistent churn: reuse the Markov chain's
+                # intra-round hazard instead of the preset's generic rate.
+                profile = dataclasses.replace(
+                    profile,
+                    dropout_hazard=float(sim.availability.intra_round_hazard()),
+                )
+            ids = np.flatnonzero(contributors)
+            sim_spec = SimRoundSpec(
+                client_ids=ids,
+                tau_loc=tau_loc_c[ids],
+                tau_cm=tau_cm_c[ids],
+                iterations=decision.iterations,
+                aggregation=config.sim.aggregation,
+                deadline_s=config.sim.deadline_s,
+                quorum=config.sim.quorum,
+                faults=profile,
+                # Only guard the runtime's own drops: the pre-existing
+                # failure injection may already run below the global floor.
+                min_participants=min(config.min_participants, int(ids.size)),
+            )
+            if profile.stochastic:
+                sim_rng = sim.rng.get("sim.runtime")
+
         with tel.timer("experiment.round"):
             result = run_federated_round(
                 sim.server,
@@ -402,6 +465,8 @@ def run_experiment(
                 dp_rng=sim.rng.get("fl.dp"),
                 dp_accountant=sim.dp_accountant,
                 engine=config.training.engine,
+                sim_spec=sim_spec,
+                sim_rng=sim_rng,
             )
         final_w = result.w
         # Realized latencies: the band was shared by the actual uploaders
@@ -415,7 +480,13 @@ def run_experiment(
             selected=contributors,
             upload_ratio=result.upload_ratio,
         )
-        epoch_latency = decision.iterations * float(np.max(tau_real[contributors]))
+        if use_des:
+            # The simulated timeline realizes the epoch latency directly
+            # (equal to the closed form below when fault-free and sync;
+            # shorter with deadline/async, longer with retries).
+            epoch_latency = float(result.completion_time)
+        else:
+            epoch_latency = decision.iterations * float(np.max(tau_real[contributors]))
         remaining -= cost
         cumulative_time += epoch_latency
 
@@ -430,6 +501,10 @@ def run_experiment(
             for k in np.flatnonzero(available):
                 new_losses[k] = sim.clients[k].local_loss(sim.server.w)
         local_losses = np.where(np.isnan(new_losses), local_losses, new_losses)
+
+        num_failed = int(sel.sum()) - int(survivors.sum())
+        if use_des and result.sim is not None:
+            num_failed += len(result.sim.dropped)
 
         trace.append(
             EpochRecord(
@@ -446,7 +521,7 @@ def run_experiment(
                 iterations=decision.iterations,
                 rho=decision.rho,
                 eta_max=result.eta_max,
-                num_failed=int(sel.sum()) - int(survivors.sum()),
+                num_failed=num_failed,
             )
         )
         if tel.enabled:
@@ -459,13 +534,18 @@ def run_experiment(
                     "epoch_latency": epoch_latency,
                     "cumulative_time": cumulative_time,
                     "remaining_budget": remaining,
-                    "num_failed": int(sel.sum()) - int(survivors.sum()),
+                    "num_failed": num_failed,
                 },
             )
+        feedback_mask = contributors
+        if use_des:
+            # Clients the runtime dropped before any upload landed have no
+            # observed η̂/τ — don't feed them back as if they participated.
+            feedback_mask = contributors & ~np.isnan(result.local_etas)
         policy.update(
             RoundFeedback(
                 t=t,
-                selected=contributors,
+                selected=feedback_mask,
                 tau_realized=tau_real,
                 local_etas=result.local_etas,
                 local_losses=new_losses,

@@ -75,7 +75,9 @@ __all__ = [
 
 # Bump to invalidate every existing cache entry (e.g. when run_experiment's
 # semantics change in a way the config/schema versions don't capture).
-CACHE_SCHEMA_VERSION = 1
+# v2: PolicySpec gained the event-driven-runtime fields (engine,
+# aggregation, fault profile) and configs gained the "sim" section.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -87,16 +89,56 @@ class PolicySpec:
     stream :func:`~repro.experiments.figures.run_policy_suite` has always
     used, so engine runs are bit-compatible with the historical serial
     loop.
+
+    The runtime fields overlay the job config when set: ``engine``
+    overrides ``TrainingConfig.engine``, and ``aggregation`` /
+    ``sim_deadline_s`` / ``quorum`` / ``fault_profile`` override the
+    config's :class:`~repro.config.SimConfig` — so one sweep grid can
+    compare aggregation policies and fault profiles without hand-building
+    a config per cell.  (``deadline_s`` is the FedCS *selection* deadline;
+    ``sim_deadline_s`` is the runtime's barrier deadline.)
     """
 
     name: str
     iterations: int = 2
     deadline_s: Optional[float] = None
     rng_stream: Optional[str] = None
+    engine: Optional[str] = None
+    aggregation: Optional[str] = None
+    sim_deadline_s: Optional[float] = None
+    quorum: Optional[int] = None
+    fault_profile: Optional[str] = None
 
     @property
     def stream(self) -> str:
         return self.rng_stream or f"policy.{self.name}"
+
+    def apply_to(self, config: ExperimentConfig) -> ExperimentConfig:
+        """Overlay the runtime fields onto ``config`` (validation re-runs
+        on construction, so an inconsistent overlay raises here)."""
+        if (
+            self.engine is None
+            and self.aggregation is None
+            and self.sim_deadline_s is None
+            and self.quorum is None
+            and self.fault_profile is None
+        ):
+            return config
+        training = dataclasses.replace(
+            config.training, engine=self.engine or config.training.engine
+        )
+        sim = dataclasses.replace(
+            config.sim,
+            aggregation=self.aggregation or config.sim.aggregation,
+            deadline_s=(
+                self.sim_deadline_s
+                if self.sim_deadline_s is not None
+                else config.sim.deadline_s
+            ),
+            quorum=self.quorum if self.quorum is not None else config.sim.quorum,
+            faults=self.fault_profile or config.sim.faults,
+        )
+        return dataclasses.replace(config, training=training, sim=sim)
 
 
 @dataclass(frozen=True)
@@ -255,15 +297,16 @@ def execute_job(job: JobLike) -> ExperimentResult:
     foundation of both determinism and cacheability.
     """
     job = as_job(job)
-    rng = RngFactory(job.config.seed).get(job.policy.stream)
+    config = job.policy.apply_to(job.config)
+    rng = RngFactory(config.seed).get(job.policy.stream)
     policy = make_policy(
         job.policy.name,
-        job.config,
+        config,
         rng,
         iterations=job.policy.iterations,
         deadline_s=job.policy.deadline_s,
     )
-    return run_experiment(policy, job.config, target_accuracy=job.target_accuracy)
+    return run_experiment(policy, config, target_accuracy=job.target_accuracy)
 
 
 # -- telemetry plumbing --------------------------------------------------------

@@ -17,6 +17,16 @@ clients sequentially (the reference implementation), ``"batched"`` drives
 all local solves through :class:`repro.fl.batched.BatchedClientEngine` in
 stacked numpy ops.  ``"auto"`` (default) picks batched whenever the model
 supports it (dense ``Sequential`` stacks; CNNs fall back to the loop).
+
+A third engine, ``"des"``, first simulates the round on the event-driven
+network runtime (:mod:`repro.sim`) and then trains with the *per-
+iteration contributor sets* the simulation produced: stragglers dropped
+by a deadline, clients lost to mid-round faults, or uploads cancelled by
+an async quorum simply stop contributing from that iteration on.  With
+faults and deadlines disabled under sync aggregation every contributor
+set is the full participant list and the engine is bit-identical to
+``"loop"`` (per-client RNG streams are isolated, so skipping one
+client's solve never perturbs another's draw).
 """
 
 from __future__ import annotations
@@ -32,8 +42,11 @@ from repro.fl.compression import FLOAT_BITS, compress_update
 from repro.fl.privacy import gaussian_mechanism
 from repro.fl.server import FLServer
 from repro.obs import get_telemetry
+from repro.sim.entities import RoundOutcome, SimRoundSpec, simulate_round
 
 __all__ = ["RoundResult", "run_federated_round"]
+
+ENGINES = ("auto", "loop", "batched", "des")
 
 
 @dataclass(frozen=True)
@@ -56,6 +69,10 @@ class RoundResult:
                                         # the per-client sweep behind
                                         # population_loss, exposed so callers
                                         # don't recompute it
+    completion_time: Optional[float] = None     # DES engine: simulated d(E_t)
+                                        # (None for the closed-form engines)
+    sim: Optional[RoundOutcome] = None  # DES engine: full round outcome
+                                        # (drops, retries, timeline)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "w", np.asarray(self.w, dtype=float))
@@ -87,6 +104,8 @@ def run_federated_round(
     dp_rng: np.random.Generator | None = None,
     dp_accountant: "PrivacyAccountant | None" = None,
     engine: str = "auto",
+    sim_spec: "SimRoundSpec | None" = None,
+    sim_rng: np.random.Generator | None = None,
 ) -> RoundResult:
     """Run ``iterations`` global iterations with the given participants.
 
@@ -99,12 +118,18 @@ def run_federated_round(
     upload before aggregation and reports the realized size ratios so the
     latency model can charge the smaller payloads.  ``engine`` selects the
     local-solve executor: ``"loop"`` (sequential reference), ``"batched"``
-    (vectorized; raises if the model is unsupported), or ``"auto"``.
+    (vectorized; raises if the model is unsupported), ``"des"`` (simulate
+    the round on the event-driven runtime first — requires ``sim_spec``,
+    a :class:`repro.sim.entities.SimRoundSpec` whose ``client_ids`` are
+    the selected clients' ids — then train on the simulated per-iteration
+    contributor sets), or ``"auto"``.
     """
     if aggregation not in ("uniform", "weighted"):
         raise ValueError(f"unknown aggregation {aggregation!r}")
-    if engine not in ("auto", "loop", "batched"):
+    if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    if engine == "des" and sim_spec is None:
+        raise ValueError("engine='des' requires a sim_spec")
     sel = np.asarray(selected_mask, dtype=bool)
     avail = np.asarray(available_mask, dtype=bool)
     if sel.shape != avail.shape or sel.size != len(clients):
@@ -117,7 +142,7 @@ def run_federated_round(
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
     batched_engine: Optional[BatchedClientEngine] = None
-    if engine != "loop":
+    if engine in ("auto", "batched"):
         supported = BatchedClientEngine.supported(server.model, participants)
         if engine == "batched" and not supported:
             raise ValueError("batched engine does not support this model")
@@ -125,27 +150,60 @@ def run_federated_round(
             batched_engine = BatchedClientEngine(server.model, participants)
 
     tel = get_telemetry()
+    # DES engine: simulate the round's network timeline first; the
+    # simulated per-iteration contributor sets then gate the training
+    # loop below (a client dropped at iteration i stops contributing
+    # from i on, exactly like the loop engine with a shrinking mask).
+    outcome: Optional[RoundOutcome] = None
+    contrib_sets: Optional[List[set]] = None
+    if engine == "des":
+        spec_ids = {int(i) for i in sim_spec.client_ids}
+        if spec_ids != {c.client_id for c in participants}:
+            raise ValueError("sim_spec.client_ids must match the selected clients")
+        if sim_spec.iterations != iterations:
+            raise ValueError("sim_spec.iterations must match iterations")
+        with tel.timer("sim.round"):
+            outcome = simulate_round(sim_spec, rng=sim_rng)
+        contrib_sets = [{int(i) for i in ids} for ids in outcome.contributors]
+        if tel.enabled:
+            _emit_sim_telemetry(tel, sim_spec, outcome)
     num_available = int(avail.sum())
     # Participant sample sizes, computed once and reused for the weighted
     # aggregation and the participant-loss weights below.
     part_sizes = [c.num_samples for c in participants]
     sample_counts = part_sizes if aggregation == "weighted" else None
 
-    def participant_grads() -> List[np.ndarray]:
+    def participant_grads(
+        parts: Optional[Sequence[FLClient]] = None,
+    ) -> List[np.ndarray]:
         if batched_engine is not None:
             # Also primes the engine's cache so the next iteration's solve
             # reuses these gradients instead of recomputing them.
             return batched_engine.local_grads(server.w)
-        return [c.local_grad(server.w) for c in participants]
+        plist = participants if parts is None else parts
+        return [c.local_grad(server.w) for c in plist]
 
     # Initial aggregated gradient at the incoming model.
     global_grad = FLServer.aggregate_gradients(participant_grads())
     eta_by_client: Dict[int, float] = {}
     ratio_sum = np.zeros(len(clients))
+    contrib_counts = np.zeros(len(clients), dtype=int)
     compressed_bits = 0.0
     full_bits = 0.0
     prev_global_delta: np.ndarray | None = None
-    for _ in range(iterations):
+    for it in range(iterations):
+        if contrib_sets is None:
+            iter_parts = participants
+            iter_counts = sample_counts
+        else:
+            iter_parts = [
+                c for c in participants if c.client_id in contrib_sets[it]
+            ]
+            iter_counts = (
+                [c.num_samples for c in iter_parts]
+                if aggregation == "weighted"
+                else None
+            )
         w_broadcast = server.w.copy()
         updates: List[np.ndarray] = []
         with tel.timer("round.local_solve"):
@@ -156,7 +214,7 @@ def run_federated_round(
                 if batched_engine is not None
                 else None
             )
-            for pos, client in enumerate(participants):
+            for pos, client in enumerate(iter_parts):
                 if solves is not None:
                     d, eta_hat, _ = solves[pos]
                 else:
@@ -188,16 +246,19 @@ def run_federated_round(
                     compressed_bits += d.size * FLOAT_BITS
                 full_bits += d.size * FLOAT_BITS
                 updates.append(d)
+                contrib_counts[client.client_id] += 1
                 prev = eta_by_client.get(client.client_id, 0.0)
                 eta_by_client[client.client_id] = max(prev, eta_hat)
         with tel.timer("round.aggregate"):
             server.aggregate_updates(
                 updates,
                 num_available=num_available,
-                sample_counts=sample_counts,
+                sample_counts=iter_counts,
             )
             prev_global_delta = server.w - w_broadcast
-            global_grad = FLServer.aggregate_gradients(participant_grads())
+            global_grad = FLServer.aggregate_gradients(
+                participant_grads(iter_parts)
+            )
 
     # Observables.
     local_etas = np.full(len(clients), np.nan)
@@ -217,10 +278,19 @@ def run_federated_round(
     loss_by_id = {
         c.client_id: float(v) for c, v in zip(avail_clients, avail_losses)
     }
-    sizes = np.asarray(part_sizes, dtype=float)
+    # Under DES, clients that never got an upload through did not shape
+    # the model — the participant loss weights only actual contributors.
+    eval_parts = participants
+    if contrib_sets is not None:
+        eval_parts = [c for c in participants if contrib_counts[c.client_id] > 0]
+    sizes = np.asarray(
+        part_sizes if contrib_sets is None
+        else [c.num_samples for c in eval_parts],
+        dtype=float,
+    )
     weights = sizes / sizes.sum()
     participant_loss = float(
-        weights @ np.asarray([loss_by_id[c.client_id] for c in participants])
+        weights @ np.asarray([loss_by_id[c.client_id] for c in eval_parts])
     )
     pop_weights = np.asarray([c.num_samples for c in avail_clients], dtype=float)
     pop_weights /= pop_weights.sum()
@@ -230,7 +300,11 @@ def run_federated_round(
         local_losses[cid] = value
     upload_ratio = np.ones(len(clients))
     for c in participants:
-        upload_ratio[c.client_id] = ratio_sum[c.client_id] / iterations
+        n = int(contrib_counts[c.client_id])
+        if n:
+            # n == iterations for the closed-form engines; under DES it
+            # is the number of iterations this client's upload landed.
+            upload_ratio[c.client_id] = ratio_sum[c.client_id] / n
     if tel.enabled:
         tel.counter("round.upload_bits_full", full_bits)
         tel.counter("round.upload_bits_sent", compressed_bits)
@@ -242,7 +316,11 @@ def run_federated_round(
                 "eta_max": max(eta_by_client.values()),
                 "upload_bits_full": full_bits,
                 "upload_bits_sent": compressed_bits,
-                "engine": "batched" if batched_engine is not None else "loop",
+                "engine": (
+                    "des"
+                    if engine == "des"
+                    else ("batched" if batched_engine is not None else "loop")
+                ),
             },
         )
     return RoundResult(
@@ -256,4 +334,45 @@ def run_federated_round(
         eta_max=max(eta_by_client.values()),
         upload_ratio=upload_ratio,
         local_losses=local_losses,
+        completion_time=(
+            outcome.completion_time if outcome is not None else None
+        ),
+        sim=outcome,
     )
+
+
+def _emit_sim_telemetry(tel, spec: SimRoundSpec, outcome: RoundOutcome) -> None:
+    """Publish the simulated round through the telemetry hub (``sim.*``)."""
+    tel.counter("sim.retries", outcome.num_retries)
+    tel.counter("sim.drops", len(outcome.dropped))
+    tel.counter("sim.deadline_hits", outcome.deadline_hits)
+    tel.emit(
+        "sim.round",
+        data={
+            "completion_time": outcome.completion_time,
+            "iterations": spec.iterations,
+            "aggregation": spec.aggregation,
+            "deadline_s": spec.deadline_s,
+            "quorum": spec.quorum,
+            "participants": int(len(spec.client_ids)),
+            "survivors": int(len(outcome.survivors)),
+            "dropped": {str(k): v for k, v in outcome.dropped.items()},
+            "retries": outcome.num_retries,
+            "deadline_hits": outcome.deadline_hits,
+            "iteration_durations": list(outcome.iteration_durations),
+        },
+    )
+    for cid in spec.client_ids:
+        cid = int(cid)
+        tel.emit(
+            "sim.client",
+            data={
+                "client": cid,
+                "busy_s": outcome.client_busy_s.get(cid, 0.0),
+                "last_t": outcome.client_last_t.get(cid, 0.0),
+                "status": outcome.dropped.get(cid, "ok"),
+                "contributions": int(
+                    sum(1 for ids in outcome.contributors if cid in ids)
+                ),
+            },
+        )

@@ -56,6 +56,8 @@ EVENT_KINDS = (
     "learner.descent",
     "learner.ascent",
     "round.complete",
+    "sim.round",
+    "sim.client",
     "sweep.start",
     "sweep.job",
     "sweep.worker",

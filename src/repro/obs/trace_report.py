@@ -23,7 +23,13 @@ from repro.obs.events import Event, read_events
 from repro.obs.hub import MANIFEST_NAME, validate_manifest
 from repro.obs.registry import MetricsRegistry, TimerStat
 
-__all__ = ["load_manifest", "render_trace", "timing_table", "trajectory_section"]
+__all__ = [
+    "load_manifest",
+    "render_trace",
+    "timing_table",
+    "trajectory_section",
+    "sim_timeline_section",
+]
 
 
 def load_manifest(directory: str | Path) -> Optional[Dict[str, Any]]:
@@ -147,6 +153,71 @@ def trajectory_section(events: Sequence[Event], run: str, chart: bool = True) ->
     return "\n".join(lines)
 
 
+def sim_timeline_section(
+    events: Sequence[Event],
+    run: str,
+    max_rounds: int = 3,
+    width: int = 40,
+) -> Optional[str]:
+    """Per-client timelines of the event-driven runtime's ``sim.*`` events.
+
+    Returns ``None`` when the run recorded no simulated rounds.  Each of
+    the last ``max_rounds`` rounds renders as a bar chart: a client's bar
+    spans its last activity instant relative to the round's completion
+    time, annotated with its completed-work seconds and drop status.
+    """
+    rounds = [e for e in events if e.run == run and e.kind == "sim.round"]
+    if not rounds:
+        return None
+    drops: Counter = Counter()
+    retries = 0
+    deadline_hits = 0
+    for event in rounds:
+        for reason in event.data.get("dropped", {}).values():
+            drops[str(reason)] += 1
+        retries += int(_num(event.data.get("retries", 0), 0.0))
+        deadline_hits += int(_num(event.data.get("deadline_hits", 0), 0.0))
+    lines = [
+        f"event-driven runtime — run {run!r} "
+        f"({len(rounds)} simulated rounds)"
+    ]
+    drop_text = (
+        ", ".join(f"{k}:{n}" for k, n in sorted(drops.items()))
+        if drops
+        else "none"
+    )
+    lines.append(
+        f"  retries={retries}  deadline_hits={deadline_hits}  drops={drop_text}"
+    )
+    clients_by_epoch: Dict[Optional[int], List[Event]] = {}
+    for event in events:
+        if event.run == run and event.kind == "sim.client":
+            clients_by_epoch.setdefault(event.epoch, []).append(event)
+    for event in rounds[-max_rounds:]:
+        total = _num(event.data.get("completion_time"), 0.0)
+        lines.append(
+            f"  epoch {event.epoch}: {event.data.get('aggregation', 'sync')} "
+            f"T={total:.4g}s iterations={event.data.get('iterations')} "
+            f"participants={event.data.get('participants')} "
+            f"survivors={event.data.get('survivors')}"
+        )
+        for ce in sorted(
+            clients_by_epoch.get(event.epoch, []),
+            key=lambda ev: int(_num(ev.data.get("client", 0), 0.0)),
+        ):
+            last = _num(ce.data.get("last_t"), 0.0)
+            busy = _num(ce.data.get("busy_s"), 0.0)
+            frac = min(1.0, last / total) if total > 0 else 0.0
+            bar = "#" * max(1, int(round(frac * width)))
+            status = str(ce.data.get("status", "ok"))
+            mark = "" if status == "ok" else f"  [{status}]"
+            lines.append(
+                f"    k={int(_num(ce.data.get('client', 0), 0.0)):>3d} "
+                f"|{bar:<{width}}| busy={busy:.4g}s{mark}"
+            )
+    return "\n".join(lines)
+
+
 def _warm_start_summary(counters: Mapping[str, Any]) -> Optional[str]:
     """One-line solver warm-start digest from the registry counters.
 
@@ -235,6 +306,9 @@ def render_trace(
         chosen = [r for r, _ in by_signal.most_common(max_runs)]
     for r in chosen:
         sections.append(trajectory_section(events, r, chart=chart))
+        sim_section = sim_timeline_section(events, r)
+        if sim_section:
+            sections.append(sim_section)
     if run is None and len(runs) > len(chosen) and chosen:
         sections.append(
             f"({len(runs) - len(chosen)} more runs in this trace; "

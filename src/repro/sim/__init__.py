@@ -1,0 +1,52 @@
+"""Event-driven network runtime: deterministic message-level DES.
+
+Public surface:
+
+* :mod:`repro.sim.engine` — the ``(time, seq)``-ordered event loop;
+* :mod:`repro.sim.entities` — simulated clients/server and
+  :func:`simulate_round`, the one-round entry point;
+* :mod:`repro.sim.faults` — fault profiles (dropout, flaky uplink,
+  retries) and the typed :class:`ParticipationFloorError`.
+
+The runtime plugs into training as ``TrainingConfig.engine="des"`` (see
+:mod:`repro.fl.round_runner`) and into experiments through
+``SimConfig`` (see :mod:`repro.config`).
+"""
+
+from repro.sim.engine import EventLoop, ScheduledEvent, SimTimeError
+from repro.sim.entities import (
+    AGGREGATION_POLICIES,
+    ClientProcess,
+    RoundOutcome,
+    ServerProcess,
+    SimRoundSpec,
+    TimelineRecord,
+    simulate_round,
+)
+from repro.sim.faults import (
+    FAULT_PROFILES,
+    FaultProfile,
+    ParticipationFloorError,
+    SimError,
+    fault_profile,
+    sample_dropout_times,
+)
+
+__all__ = [
+    "EventLoop",
+    "ScheduledEvent",
+    "SimTimeError",
+    "AGGREGATION_POLICIES",
+    "SimRoundSpec",
+    "TimelineRecord",
+    "RoundOutcome",
+    "ClientProcess",
+    "ServerProcess",
+    "simulate_round",
+    "FaultProfile",
+    "FAULT_PROFILES",
+    "fault_profile",
+    "SimError",
+    "ParticipationFloorError",
+    "sample_dropout_times",
+]

@@ -1,0 +1,128 @@
+"""Deterministic discrete-event loop (the heart of ``repro.sim``).
+
+A minimal but strict event kernel: callbacks are scheduled at absolute
+simulated times on a binary heap and executed in ``(time, seq)`` order,
+where ``seq`` is a monotonically increasing insertion counter.  The
+tie-break makes execution *bit-reproducible*: two events at the exact
+same float timestamp always run in the order they were scheduled, so a
+simulation is a pure function of its inputs (and of the RNG streams the
+callbacks consume, which therefore drain in a deterministic order too).
+
+Cancellation is O(1) lazy: a cancelled handle stays on the heap and is
+skipped when popped — the standard technique for simulators whose
+processes frequently outrun their own timeouts (uploads beating a
+deadline, retries beating a dropout).
+
+The clock only moves forward.  Scheduling in the past raises, and
+callbacks may freely schedule new events at ``now`` (they run after all
+other events already queued for that instant, preserving seq order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["ScheduledEvent", "EventLoop", "SimTimeError"]
+
+
+class SimTimeError(ValueError):
+    """Raised when an event is scheduled before the current sim time."""
+
+
+class ScheduledEvent:
+    """Handle for one pending callback (cancel via :meth:`EventLoop.cancel`)."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[float], Any]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        # Stable total order: primary key simulated time, tie-break by
+        # insertion sequence.  This is the bit-reproducibility contract.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent(t={self.time!r}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """Monotonic event heap with stable ``(time, seq)`` ordering."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+        self._stopped = False
+        self.processed = 0
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule_at(
+        self, time: float, callback: Callable[[float], Any]
+    ) -> ScheduledEvent:
+        """Schedule ``callback(now)`` at absolute simulated ``time``."""
+        time = float(time)
+        if time < self.now:
+            raise SimTimeError(
+                f"cannot schedule at t={time!r} before now={self.now!r}"
+            )
+        event = ScheduledEvent(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self, delay: float, callback: Callable[[float], Any]
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after a nonnegative ``delay`` from now."""
+        if delay < 0:
+            raise SimTimeError(f"delay must be nonnegative, got {delay!r}")
+        return self.schedule_at(self.now + float(delay), callback)
+
+    @staticmethod
+    def cancel(event: Optional[ScheduledEvent]) -> None:
+        """Mark a handle cancelled (lazy: skipped when popped).  ``None``
+        is accepted so callers can cancel an optional pending handle."""
+        if event is not None:
+            event.cancelled = True
+
+    # -- execution ---------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current callback finishes."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Pop and execute events in ``(time, seq)`` order.
+
+        Stops when the heap drains, when :meth:`stop` is called from a
+        callback, or — with ``until`` — before executing any event past
+        that time (the clock then advances to ``until`` if it was going
+        to pass it).  Returns the final simulated time.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self.now = max(self.now, float(until))
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = event.time
+            self.processed += 1
+            event.callback(self.now)
+        if until is not None and not self._heap and not self._stopped:
+            self.now = max(self.now, float(until))
+        return self.now
+
+    def __len__(self) -> int:
+        """Pending (non-cancelled) events still on the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)

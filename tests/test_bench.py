@@ -29,7 +29,7 @@ def tiny_report():
 class TestReportStructure:
     def test_schema_and_sections(self, tiny_report):
         assert tiny_report["schema_version"] == SCHEMA_VERSION
-        assert set(tiny_report) >= {"fl", "solver", "nn", "meta", "quick"}
+        assert set(tiny_report) >= {"fl", "solver", "nn", "sim", "meta", "quick"}
         assert tiny_report["meta"]["numpy"] == np.__version__
 
     def test_fl_section_is_bit_identical(self, tiny_report):
@@ -48,10 +48,19 @@ class TestReportStructure:
     def test_nn_section_in_place_sgd_exact(self, tiny_report):
         assert tiny_report["nn"]["sgd_results_equal"] is True
 
+    def test_sim_section_is_bit_exact(self, tiny_report):
+        sim = tiny_report["sim"]
+        assert sim["exact"] is True
+        assert sim["rounds_per_s"] > 0
+        assert sim["overhead_ratio"] > 0
+        assert sim["events_per_round"] > 0
+        assert sim["faulted_retries"] > 0  # the flaky arm exercised retries
+
     def test_format_report_renders(self, tiny_report):
         text = format_report(tiny_report)
         assert "bit-identical results: True" in text
         assert "[solver]" in text and "[nn]" in text
+        assert "[sim]" in text and "bit-exact vs closed form: True" in text
 
     def test_round_trip_via_json(self, tiny_report, tmp_path):
         path = save_report(tiny_report, tmp_path / "bench.json")
@@ -100,6 +109,12 @@ class TestRegressionGate:
         current["fl"]["identical"] = False
         failures = check_regression(current, tiny_report)
         assert any("bit-identical" in f for f in failures)
+
+    def test_sim_exactness_break_always_fails(self, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        current["sim"]["exact"] = False
+        failures = check_regression(current, tiny_report)
+        assert any("closed-form" in f for f in failures)
 
     def test_sgd_mismatch_always_fails(self, tiny_report):
         current = copy.deepcopy(tiny_report)

@@ -70,3 +70,96 @@ class TestExtendedPolicyRuns:
             ]
         )
         assert rc == 0
+
+
+SIM_SMALL = [
+    "--budget", "60",
+    "--clients", "8",
+    "--participants", "3",
+    "--epochs", "2",
+]
+
+
+class TestSimCommandValidation:
+    @pytest.mark.parametrize(
+        "extra, message",
+        [
+            (["--aggregation", "deadline"], "requires --deadline"),
+            (["--aggregation", "deadline", "--deadline", "-1"],
+             "--deadline must be positive"),
+            (["--aggregation", "async"], "requires --quorum"),
+            (["--quorum", "3"], "--quorum only applies"),
+            (["--deadline", "0.5"], "--deadline only applies"),
+        ],
+    )
+    def test_semantic_errors_exit_2(self, capsys, extra, message):
+        rc = main(["sim", *SIM_SMALL, *extra])
+        assert rc == 2
+        assert message in capsys.readouterr().err
+
+    def test_unknown_fault_profile_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["sim", *SIM_SMALL, "--faults", "gremlins"])
+        assert err.value.code == 2
+
+
+class TestSimCommand:
+    def test_sync_run_outputs_summary(self, capsys):
+        rc = main(["sim", *SIM_SMALL])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine=des" in out
+        assert "aggregation=sync" in out
+        assert "final_accuracy=" in out
+
+    def test_telemetry_trace_renders_timelines(self, capsys, tmp_path):
+        trace_dir = tmp_path / "trace"
+        rc = main(["sim", *SIM_SMALL, "--telemetry", str(trace_dir)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["trace", str(trace_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sim.round" in out          # event inventory
+        assert "event-driven runtime" in out
+        assert "simulated rounds" in out
+        assert "busy=" in out              # per-client timeline bars
+
+    def test_floor_violation_exits_1(self, capsys):
+        # A deadline below every client's latency floors the round.
+        rc = main(
+            ["sim", *SIM_SMALL, "--aggregation", "deadline",
+             "--deadline", "1e-6"]
+        )
+        assert rc == 1
+        assert "participation floor" in capsys.readouterr().err
+
+
+class TestSweepDesFlags:
+    def test_engine_des_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--budgets", "60",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "2",
+                "--policies", "FedAvg",
+                "--workers", "1",
+                "--engine", "des",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert "budget impact" in capsys.readouterr().out
+
+    def test_sim_knobs_validated(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--budgets", "60",
+                "--aggregation", "async",
+            ]
+        )
+        assert rc == 2
+        assert "requires --quorum" in capsys.readouterr().err

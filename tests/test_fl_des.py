@@ -1,0 +1,183 @@
+"""End-to-end tests for the DES training engine (``engine="des"``).
+
+The runtime's integration contract:
+
+* with the default sim config (sync, no faults) a DES experiment is
+  **bit-identical** to the loop engine — same traces, same weights, and
+  the simulated completion time reproduces the closed-form
+  ``epoch_latency`` exactly;
+* deadline aggregation degrades gracefully (stragglers dropped, round
+  latency reduced, drops surfaced as ``num_failed``) until the (3b)
+  participation floor would be violated, at which point the typed
+  :class:`ParticipationFloorError` propagates out of ``run_experiment``;
+* ``sim.*`` telemetry events are emitted for every simulated round.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import experiment_config, make_policy
+from repro.fl.round_runner import run_federated_round
+from repro.obs import Telemetry, read_events, use_telemetry
+from repro.rng import RngFactory
+from repro.sim import ParticipationFloorError, SimRoundSpec
+
+
+def tiny_config(engine="loop", sim=None, seed=0, min_participants=3):
+    cfg = experiment_config(
+        dataset="fmnist",
+        iid=True,
+        budget=120.0,
+        seed=seed,
+        num_clients=8,
+        min_participants=min_participants,
+        max_epochs=4,
+    )
+    cfg = cfg.replace(training=replace(cfg.training, engine=engine))
+    return cfg.replace(sim=sim) if sim is not None else cfg
+
+
+def run_policy(policy, cfg):
+    pol = make_policy(policy, cfg, RngFactory(cfg.seed).get(f"policy.{policy}"))
+    return run_experiment(pol, cfg)
+
+
+def same_outputs(a, b):
+    return (
+        a.stop_reason == b.stop_reason
+        and bool(a.trace.equals(b.trace))
+        and bool(np.array_equal(a.final_w, b.final_w))
+    )
+
+
+class TestBitIdentityWithLoop:
+    @pytest.mark.parametrize("policy", ["FedL", "FedAvg"])
+    def test_fault_free_sync_des_matches_loop(self, policy):
+        loop = run_policy(policy, tiny_config(engine="loop"))
+        des = run_policy(policy, tiny_config(engine="des"))
+        assert len(loop.trace) > 0
+        assert same_outputs(loop, des)
+
+    def test_matches_loop_under_failure_injection(self):
+        # Pre-existing crash injection composes with the runtime: crashes
+        # are decided before the round, the fault-free DES reproduces the
+        # surviving cohort's round bit-for-bit.
+        def cfg(engine):
+            base = tiny_config(engine=engine)
+            return base.replace(
+                population=replace(base.population, failure_prob=0.3)
+            )
+
+        assert same_outputs(
+            run_policy("FedL", cfg("loop")), run_policy("FedL", cfg("des"))
+        )
+
+
+class TestRoundRunnerValidation:
+    def test_des_requires_sim_spec(self):
+        with pytest.raises(ValueError, match="sim_spec"):
+            run_federated_round(
+                None, [], np.ones(2, bool), np.ones(2, bool),
+                iterations=1, target_eta=0.4, engine="des",
+            )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_federated_round(
+                None, [], np.ones(2, bool), np.ones(2, bool),
+                iterations=1, target_eta=0.4, engine="quantum",
+            )
+
+    def test_spec_participants_must_match_selection(self):
+        class Stub:
+            def __init__(self, cid):
+                self.client_id = cid
+
+        spec = SimRoundSpec(
+            client_ids=np.array([0, 3]),  # 3 is not a selected client
+            tau_loc=np.ones(2),
+            tau_cm=np.ones(2),
+            iterations=1,
+        )
+        with pytest.raises(ValueError, match="selected clients"):
+            run_federated_round(
+                None, [Stub(0), Stub(1), Stub(2)],
+                np.array([True, True, False]), np.ones(3, bool),
+                iterations=1, target_eta=0.4, engine="des", sim_spec=spec,
+            )
+
+
+class TestDeadlineDegradation:
+    def test_deadline_drops_reduce_round_latency(self):
+        # FedCS over-selects past the floor, so a binding deadline can
+        # drop a straggler without violating (3b).  Epoch 0's sync width
+        # is ~0.046s; a 0.01s deadline drops the slowest client and
+        # strictly reduces the round latency.
+        sync = run_policy("FedCS", tiny_config(engine="des"))
+        capped = run_policy(
+            "FedCS",
+            tiny_config(
+                engine="des",
+                sim=SimConfig(aggregation="deadline", deadline_s=0.01),
+            ),
+        )
+        assert capped.trace.records[0].num_failed >= 1
+        assert (
+            capped.trace.records[0].epoch_latency
+            < sync.trace.records[0].epoch_latency
+        )
+
+    def test_floor_violation_propagates_typed_error(self):
+        # FedL selects exactly the floor; a deadline faster than some
+        # selected client must raise, never silently under-participate.
+        with pytest.raises(ParticipationFloorError):
+            run_policy(
+                "FedL",
+                tiny_config(
+                    engine="des",
+                    sim=SimConfig(aggregation="deadline", deadline_s=0.01),
+                ),
+            )
+
+
+class TestAsyncAggregation:
+    def test_quorum_round_is_faster_than_sync(self):
+        sync = run_policy("FedCS", tiny_config(engine="des"))
+        quorum = run_policy(
+            "FedCS",
+            tiny_config(engine="des", sim=SimConfig(aggregation="async", quorum=2)),
+        )
+        assert quorum.stop_reason in ("max_epochs", "budget_exhausted")
+        # Epoch 0 sees the same selection (no feedback yet has diverged):
+        # waiting for the 2 fastest of 4+ selected beats the full barrier.
+        assert (
+            quorum.trace.records[0].epoch_latency
+            < sync.trace.records[0].epoch_latency
+        )
+
+
+class TestSimTelemetry:
+    def test_sim_events_emitted_per_round(self, tmp_path):
+        cfg = tiny_config(engine="des")
+        pol = make_policy("FedL", cfg, RngFactory(0).get("policy.FedL"))
+        hub = Telemetry.for_directory(tmp_path, run_id="des-test")
+        with use_telemetry(hub):
+            result = run_experiment(pol, cfg)
+        hub.finalize(meta={})
+        events = read_events(tmp_path)
+        rounds = [e for e in events if e.kind == "sim.round"]
+        clients = [e for e in events if e.kind == "sim.client"]
+        assert len(rounds) == len(result.trace)
+        for event, record in zip(rounds, result.trace.records):
+            assert event.data["completion_time"] == record.epoch_latency
+            assert event.data["aggregation"] == "sync"
+            assert event.data["participants"] == record.num_selected
+            assert event.data["survivors"] == record.num_selected
+        # One sim.client event per participant per round.
+        assert len(clients) == sum(r.num_selected for r in result.trace.records)
+        statuses = {e.data["status"] for e in clients}
+        assert statuses == {"ok"}

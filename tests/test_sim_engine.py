@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic discrete-event loop (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim.engine import EventLoop, SimTimeError
+
+
+class TestOrdering:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(3.0, lambda t: order.append(("c", t)))
+        loop.schedule_at(1.0, lambda t: order.append(("a", t)))
+        loop.schedule_at(2.0, lambda t: order.append(("b", t)))
+        end = loop.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        assert end == 3.0
+        assert loop.processed == 3
+
+    def test_ties_break_by_insertion_sequence(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abcde":
+            loop.schedule_at(1.0, lambda t, tag=tag: order.append(tag))
+        loop.run()
+        assert order == list("abcde")
+
+    def test_same_instant_reschedule_runs_after_queued(self):
+        # A callback scheduling at `now` runs after everything already
+        # queued for that instant (seq order), not before.
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(1.0, lambda t: (order.append("first"),
+                                         loop.schedule_at(t, lambda t2: order.append("late"))))
+        loop.schedule_at(1.0, lambda t: order.append("second"))
+        loop.run()
+        assert order == ["first", "second", "late"]
+
+    def test_clock_is_monotone(self):
+        loop = EventLoop()
+        loop.schedule_at(5.0, lambda t: None)
+        loop.run()
+        with pytest.raises(SimTimeError):
+            loop.schedule_at(4.0, lambda t: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimTimeError):
+            loop.schedule(-0.1, lambda t: None)
+
+
+class TestCancellation:
+    def test_cancelled_events_are_skipped(self):
+        loop = EventLoop()
+        fired = []
+        keep = loop.schedule_at(1.0, lambda t: fired.append("keep"))
+        gone = loop.schedule_at(2.0, lambda t: fired.append("gone"))
+        EventLoop.cancel(gone)
+        loop.run()
+        assert fired == ["keep"]
+        assert loop.processed == 1
+        assert not keep.cancelled and gone.cancelled
+
+    def test_cancel_none_is_noop(self):
+        EventLoop.cancel(None)  # must not raise
+
+    def test_len_counts_pending_noncancelled(self):
+        loop = EventLoop()
+        a = loop.schedule_at(1.0, lambda t: None)
+        loop.schedule_at(2.0, lambda t: None)
+        assert len(loop) == 2
+        EventLoop.cancel(a)
+        assert len(loop) == 1
+
+
+class TestRunControl:
+    def test_stop_from_callback_halts(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda t: (fired.append(1), loop.stop()))
+        loop.schedule_at(2.0, lambda t: fired.append(2))
+        loop.run()
+        assert fired == [1]
+        assert len(loop) == 1  # the later event is still queued
+
+    def test_until_stops_before_future_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda t: fired.append(1))
+        loop.schedule_at(5.0, lambda t: fired.append(5))
+        end = loop.run(until=3.0)
+        assert fired == [1]
+        assert end == 3.0 and loop.now == 3.0
+        # Resuming picks the remaining event back up.
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_until_advances_clock_on_empty_heap(self):
+        loop = EventLoop()
+        assert loop.run(until=7.5) == 7.5

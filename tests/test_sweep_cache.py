@@ -118,6 +118,16 @@ MUTATIONS = {
     "policy.rng_stream": lambda j: replace(
         j, policy=replace(j.policy, rng_stream="policy.other")
     ),
+    "policy.engine": lambda j: replace(j, policy=replace(j.policy, engine="des")),
+    "policy.aggregation": lambda j: replace(
+        j,
+        policy=replace(
+            j.policy, engine="des", aggregation="async", quorum=2
+        ),
+    ),
+    "policy.fault_profile": lambda j: replace(
+        j, policy=replace(j.policy, engine="des", fault_profile="churn")
+    ),
     "target_accuracy": lambda j: replace(j, target_accuracy=0.9),
 }
 
@@ -206,3 +216,42 @@ class TestCacheRoundTrip:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(cache) == 0
+
+
+class TestPolicySpecOverlay:
+    """The event-driven-runtime fields overlay the job config."""
+
+    def test_no_overrides_returns_config_unchanged(self):
+        cfg = tiny_config()
+        assert PolicySpec("FedL").apply_to(cfg) is cfg
+
+    def test_overlay_sets_engine_and_sim(self):
+        spec = PolicySpec(
+            "FedL",
+            engine="des",
+            aggregation="deadline",
+            sim_deadline_s=0.5,
+            fault_profile="flaky-uplink",
+        )
+        cfg = spec.apply_to(tiny_config())
+        assert cfg.training.engine == "des"
+        assert cfg.sim.aggregation == "deadline"
+        assert cfg.sim.deadline_s == 0.5
+        assert cfg.sim.faults == "flaky-uplink"
+
+    def test_inconsistent_overlay_raises(self):
+        # SimConfig validation re-runs on construction.
+        with pytest.raises(ValueError, match="quorum"):
+            PolicySpec("FedL", aggregation="async").apply_to(tiny_config())
+
+    def test_des_job_executes_bit_identically_to_direct_config(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.experiments.sweep import execute_job
+
+        spec_job = SweepJob(PolicySpec("FedL", engine="des"), tiny_config())
+        direct_cfg = tiny_config().replace(
+            training=dc_replace(tiny_config().training, engine="des")
+        )
+        direct_job = SweepJob(PolicySpec("FedL"), direct_cfg)
+        assert results_identical(execute_job(spec_job), execute_job(direct_job))
