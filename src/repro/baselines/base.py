@@ -39,6 +39,8 @@ class EpochContext:
     local_losses: np.ndarray        # (M,) last local losses at current w
                                     #       (NaN where never observed)
     tau_oracle: Optional[np.ndarray] = None   # true τ of THIS epoch (oracle only)
+    reliability: Optional[np.ndarray] = None  # (M,) in [0,1]; EWMA of clean
+                                              #       rounds (defense active only)
 
     def __post_init__(self) -> None:
         m = np.asarray(self.available).size
@@ -54,6 +56,13 @@ class EpochContext:
             if arr.shape != (m,):
                 raise ValueError("tau_oracle shape mismatch")
             object.__setattr__(self, "tau_oracle", arr)
+        if self.reliability is not None:
+            arr = np.asarray(self.reliability, dtype=float)
+            if arr.shape != (m,):
+                raise ValueError("reliability shape mismatch")
+            if np.any(arr < 0.0) or np.any(arr > 1.0):
+                raise ValueError("reliability must lie in [0, 1]")
+            object.__setattr__(self, "reliability", arr)
         if self.min_participants < 1:
             raise ValueError("min_participants must be >= 1")
 

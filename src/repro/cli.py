@@ -25,6 +25,13 @@ and fault profile (stragglers, upload retries, mid-round dropout), and
 (``--engine des --aggregation ... --faults ...``) so grids can compare
 aggregation policies under faults.
 
+``run``/``sim``/``sweep`` also take the robustness knobs
+(``--attack sign-flip --attack-fraction 0.2 --defense trimmed-mean``):
+``--attack`` plants deterministic Byzantine clients
+(:mod:`repro.fl.adversary`) and ``--defense`` screens and robustly
+aggregates their uploads (:mod:`repro.fl.defense`); quarantine totals
+appear in the run summary and in ``repro trace``.
+
 ``run``/``compare``/``sweep`` accept ``--save out.json`` to persist the
 traces/results (see :mod:`repro.experiments.persistence`).  ``sweep``
 runs its policies × budgets × seeds grid through the process-parallel
@@ -51,6 +58,8 @@ import numpy as np
 
 from repro import __version__
 from repro.config import SimConfig
+from repro.fl.adversary import ATTACKS
+from repro.fl.defense import AGGREGATORS, CorruptUpdateError, TrainingDivergedError
 from repro.experiments.figures import accuracy_vs_time, run_policy_suite
 from repro.experiments.persistence import save_results, save_traces
 from repro.experiments.reporting import format_series, format_table
@@ -102,8 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=80)
         p.add_argument("--save", type=str, default=None, metavar="PATH.json")
 
+    def robustness(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--attack", default=None, choices=list(ATTACKS),
+                       help="plant deterministic Byzantine clients with this "
+                       "behavior (default: none)")
+        p.add_argument("--attack-fraction", type=float, default=None,
+                       metavar="FRAC",
+                       help="fraction of clients compromised, in (0, 1) "
+                       "(requires --attack; default 0.2)")
+        p.add_argument("--defense", default=None, choices=list(AGGREGATORS),
+                       help="update screening + robust aggregation rule "
+                       "(default: none = plain weighted mean, corrupt "
+                       "uploads abort the run)")
+
     p_run = sub.add_parser("run", help="run one policy end to end")
     common(p_run)
+    robustness(p_run)
     p_run.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_run.add_argument("--budget", type=float, default=800.0)
     p_run.add_argument("--telemetry", type=str, default=None, metavar="DIR",
@@ -116,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(message-level DES: stragglers, deadlines, retries, async)",
     )
     common(p_sim)
+    robustness(p_sim)
     p_sim.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_sim.add_argument("--budget", type=float, default=800.0)
     p_sim.add_argument("--aggregation", default="sync",
@@ -149,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget sweep (paper Figs. 6-7) on the parallel sweep engine",
     )
     common(p_swp)
+    robustness(p_swp)
     p_swp.add_argument("--budgets", type=float, nargs="+",
                        default=[300.0, 800.0, 2000.0])
     p_swp.add_argument("--seeds", type=int, nargs="+", default=None,
@@ -278,8 +303,46 @@ def _validate_sim_args(
     return None
 
 
+def _validate_attack_args(
+    attack: Optional[str],
+    fraction: Optional[float],
+) -> Optional[str]:
+    """Semantic validation of the robustness knobs (run/sim/sweep)."""
+    if fraction is not None:
+        if attack is None or attack == "none":
+            return "--attack-fraction only applies with --attack"
+        if not (0.0 < fraction < 1.0):
+            return "--attack-fraction must be in (0, 1)"
+    return None
+
+
+def _attack_overlay(cfg, args: argparse.Namespace):
+    """Overlay --attack/--attack-fraction/--defense onto a config.
+
+    With neither flag set the config is returned unchanged, keeping the
+    benign path exactly what it was before these flags existed.
+    """
+    if args.attack in (None, "none") and args.defense in (None, "none"):
+        return cfg
+    attack = dataclasses.replace(
+        cfg.attack,
+        kind=args.attack or "none",
+        fraction=(
+            args.attack_fraction
+            if args.attack_fraction is not None
+            else cfg.attack.fraction
+        ),
+    )
+    defense = dataclasses.replace(
+        cfg.defense, aggregator=args.defense or "none"
+    )
+    return dataclasses.replace(cfg, attack=attack, defense=defense)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    error = _validate_common(args)
+    error = _validate_common(args) or _validate_attack_args(
+        args.attack, args.attack_fraction
+    )
     if error:
         return _usage_error(error)
     cfg = experiment_config(
@@ -291,6 +354,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         min_participants=args.participants,
         max_epochs=args.epochs,
     )
+    cfg = _attack_overlay(cfg, args)
     policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
     hub = (
         Telemetry.for_directory(
@@ -299,8 +363,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.telemetry
         else None
     )
-    with use_telemetry(hub):
-        result = run_experiment(policy, cfg)
+    try:
+        with use_telemetry(hub):
+            result = run_experiment(policy, cfg)
+    except (CorruptUpdateError, TrainingDivergedError) as exc:
+        print(f"repro: training aborted: {exc}", file=sys.stderr)
+        return 1
     if hub is not None:
         hub.finalize(
             meta={"command": "run", "policy": args.policy, "seed": args.seed}
@@ -312,6 +380,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"final_accuracy={tr.final_accuracy:.4f} "
         f"sim_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f}"
     )
+    if args.attack not in (None, "none") or args.defense not in (None, "none"):
+        print(
+            f"attack={cfg.attack.kind} defense={cfg.defense.aggregator} "
+            f"quarantined_updates="
+            f"{sum(r.num_quarantined for r in tr.records)}"
+        )
     if args.save:
         path = save_traces({tr.policy_name: tr}, args.save)
         print(f"saved -> {path}")
@@ -319,8 +393,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sim(args: argparse.Namespace) -> int:
-    error = _validate_common(args) or _validate_sim_args(
-        args.aggregation, args.deadline, args.quorum
+    error = (
+        _validate_common(args)
+        or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
+        or _validate_attack_args(args.attack, args.attack_fraction)
     )
     if error:
         return _usage_error(error)
@@ -343,6 +419,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             faults=args.faults,
         ),
     )
+    cfg = _attack_overlay(cfg, args)
     policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
     hub = (
         Telemetry.for_directory(
@@ -356,6 +433,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             result = run_experiment(policy, cfg)
     except ParticipationFloorError as exc:
         print(f"repro: simulation aborted: {exc}", file=sys.stderr)
+        return 1
+    except (CorruptUpdateError, TrainingDivergedError) as exc:
+        print(f"repro: training aborted: {exc}", file=sys.stderr)
         return 1
     if hub is not None:
         hub.finalize(
@@ -378,6 +458,12 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         f"sim_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f} "
         f"failed_clients={sum(r.num_failed for r in tr.records)}"
     )
+    if args.attack not in (None, "none") or args.defense not in (None, "none"):
+        print(
+            f"attack={cfg.attack.kind} defense={cfg.defense.aggregator} "
+            f"quarantined_updates="
+            f"{sum(r.num_quarantined for r in tr.records)}"
+        )
     if args.save:
         path = save_traces({tr.policy_name: tr}, args.save)
         print(f"saved -> {path}")
@@ -431,8 +517,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    error = _validate_common(args) or _validate_sim_args(
-        args.aggregation, args.deadline, args.quorum
+    error = (
+        _validate_common(args)
+        or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
+        or _validate_attack_args(args.attack, args.attack_fraction)
     )
     if error:
         return _usage_error(error)
@@ -450,6 +538,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sim_deadline_s=args.deadline,
         quorum=args.quorum,
         fault_profile=args.faults,
+        attack=args.attack,
+        attack_fraction=args.attack_fraction,
+        defense=args.defense,
     )
     jobs = []
     for seed in seeds:

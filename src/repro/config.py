@@ -26,6 +26,8 @@ __all__ = [
     "DataConfig",
     "TrainingConfig",
     "SimConfig",
+    "AttackConfig",
+    "DefenseConfig",
     "FedLConfig",
     "ExperimentConfig",
 ]
@@ -237,6 +239,63 @@ class SimConfig:
 
 
 @dataclass(frozen=True)
+class AttackConfig:
+    """Adversarial client injection (see :mod:`repro.fl.adversary`).
+
+    ``kind = "none"`` (default) disables the adversary entirely — no RNG
+    stream is touched and the run is bit-identical to an attack-free
+    build.  The roster (``⌈fraction · M⌉`` compromised clients) is fixed
+    per experiment; ``sleeper_period = p > 0`` makes attackers honest
+    except on every ``p``-th epoch.
+    """
+
+    kind: str = "none"                  # member of repro.fl.adversary.ATTACKS
+    fraction: float = 0.2               # compromised share of the fleet
+    scale: float = 10.0                 # sign-flip/scale multiplier, gauss σ
+    sleeper_period: int = 0             # 0 = always active
+
+    def __post_init__(self) -> None:
+        # Lazy import keeps config importable without the fl package cycle.
+        from repro.fl.adversary import ATTACKS
+
+        _require(self.kind in ATTACKS, f"unknown attack (known: {ATTACKS})")
+        if self.kind != "none":
+            _require(0.0 < self.fraction < 1.0, "attack fraction in (0,1)")
+        _require(self.scale > 0, "attack scale must be positive")
+        _require(self.sleeper_period >= 0, "sleeper_period must be >= 0")
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Update-validation gate + robust aggregation (:mod:`repro.fl.defense`).
+
+    ``aggregator = "none"`` (default) keeps the paper's plain pipeline:
+    the finite-value gate still fast-fails on corrupt updates, but values
+    and aggregation order are untouched (bit-identical, bench-gated).
+    """
+
+    aggregator: str = "none"            # member of repro.fl.defense.AGGREGATORS
+    trim_fraction: float = 0.2          # trimmed-mean extremes per side
+    norm_bound: Optional[float] = None  # norm-clip bound (None = adaptive)
+    krum_f: Optional[int] = None        # assumed Byzantine count for krum
+
+    def __post_init__(self) -> None:
+        from repro.fl.defense import AGGREGATORS
+
+        _require(
+            self.aggregator in AGGREGATORS,
+            f"unknown defense aggregator (known: {AGGREGATORS})",
+        )
+        _require(
+            0.0 <= self.trim_fraction < 0.5, "trim_fraction must be in [0, 0.5)"
+        )
+        if self.norm_bound is not None:
+            _require(self.norm_bound > 0, "norm_bound must be positive")
+        if self.krum_f is not None:
+            _require(self.krum_f >= 1, "krum_f must be >= 1")
+
+
+@dataclass(frozen=True)
 class FedLConfig:
     """FedL controller hyper-parameters (Sec. 4.3 / Corollary 1)."""
 
@@ -251,6 +310,10 @@ class FedLConfig:
     objective: str = "sum"              # "sum" (paper eq. 4) | "softmax" (ablation)
     solver_warm_start: bool = True      # carry Φ̃/step-size/iteration state
                                         # across epochs in descent_step
+    reliability_penalty: float = 4.0    # cost inflation per unit unreliability
+                                        # (only applied when the runner feeds
+                                        # a reliability score, i.e. a defense
+                                        # aggregator is active)
 
     def __post_init__(self) -> None:
         if self.beta is not None:
@@ -265,6 +328,7 @@ class FedLConfig:
         )
         _require(self.rounding in ("rdcs", "independent"), "unknown rounding")
         _require(self.objective in ("sum", "softmax"), "unknown objective")
+        _require(self.reliability_penalty >= 0, "reliability_penalty must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -280,6 +344,8 @@ class ExperimentConfig:
     data: DataConfig = field(default_factory=DataConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     sim: SimConfig = field(default_factory=SimConfig)
+    attack: AttackConfig = field(default_factory=AttackConfig)
+    defense: DefenseConfig = field(default_factory=DefenseConfig)
     fedl: FedLConfig = field(default_factory=FedLConfig)
 
     def __post_init__(self) -> None:

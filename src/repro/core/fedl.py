@@ -96,9 +96,18 @@ class FedLPolicy:
         Split out so extensions (e.g. the fairness variant) can bias the
         fractional selection before rounding.
         """
+        costs = ctx.costs
+        if ctx.reliability is not None and self.config.reliability_penalty > 0:
+            # Belief-side cost inflation only: clients flagged by the
+            # defense layer look more expensive to the learner, so the
+            # descent step deprioritizes them — but budget accounting and
+            # feasibility repair (enforce_feasibility) keep real prices.
+            costs = costs * (
+                1.0 + self.config.reliability_penalty * (1.0 - ctx.reliability)
+            )
         inputs = EpochInputs(
             tau=np.nan_to_num(ctx.tau_last, nan=1.0, posinf=1e3),
-            costs=ctx.costs,
+            costs=costs,
             available=ctx.available,
             eta_hat=np.clip(self.eta_hat, 0.0, ETA_CLIP),
             loss_gap=self.loss_gap,

@@ -30,6 +30,7 @@ class EpochRecord:
     rho: float                  # fractional iteration decision (NaN for baselines)
     eta_max: float              # realized max local accuracy among participants
     num_failed: int = 0         # rented clients that crashed mid-round
+    num_quarantined: int = 0    # clients whose updates the defense rejected
 
 
 @dataclass

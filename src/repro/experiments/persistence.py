@@ -14,13 +14,17 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Mapping
 
 import numpy as np
 
 from repro.config import (
+    AttackConfig,
     DataConfig,
+    DefenseConfig,
     ExperimentConfig,
     FedLConfig,
     NetworkConfig,
@@ -49,7 +53,32 @@ __all__ = [
 SCHEMA_VERSION = 1
 # v2: configs gained the event-driven-runtime section ("sim"); results
 # written by v1 (no "sim" key) still load with the default SimConfig.
-RESULT_SCHEMA_VERSION = 2
+# v3: configs gained the robustness sections ("attack"/"defense"); older
+# results load with the benign defaults (no attack, plain aggregation).
+RESULT_SCHEMA_VERSION = 3
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` without ever exposing a torn file.
+
+    The payload goes to a temp file in the destination directory first and
+    is moved into place with :func:`os.replace`, which is atomic on POSIX —
+    a crash mid-write leaves either the old file or the new one, never a
+    truncated JSON document.
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def trace_to_dict(trace: Trace) -> dict:
@@ -79,7 +108,7 @@ def save_traces(traces: Mapping[str, Trace], path: str | Path) -> Path:
         "schema": SCHEMA_VERSION,
         "traces": {name: trace_to_dict(tr) for name, tr in traces.items()},
     }
-    path.write_text(json.dumps(payload))
+    _atomic_write_text(path, json.dumps(payload))
     return path
 
 
@@ -127,6 +156,8 @@ def config_from_dict(data: Mapping) -> ExperimentConfig:
         data=DataConfig(**data["data"]),
         training=TrainingConfig(**_with_tuples(data["training"], "hidden_units")),
         sim=SimConfig(**data.get("sim", {})),
+        attack=AttackConfig(**data.get("attack", {})),
+        defense=DefenseConfig(**data.get("defense", {})),
         fedl=FedLConfig(**data["fedl"]),
     )
 
@@ -148,7 +179,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
 def result_from_dict(data: Mapping) -> ExperimentResult:
     """Inverse of :func:`result_to_dict`; validates the schema version."""
     version = data.get("schema")
-    if version not in (1, RESULT_SCHEMA_VERSION):
+    if version not in (1, 2, RESULT_SCHEMA_VERSION):
         raise ValueError(f"unsupported result schema: {version!r}")
     return ExperimentResult(
         trace=trace_from_dict(data["trace"]),
@@ -165,14 +196,14 @@ def save_results(results: Mapping[str, ExperimentResult], path: str | Path) -> P
         "schema": RESULT_SCHEMA_VERSION,
         "results": {name: result_to_dict(r) for name, r in results.items()},
     }
-    path.write_text(json.dumps(payload))
+    _atomic_write_text(path, json.dumps(payload))
     return path
 
 
 def load_results(path: str | Path) -> Dict[str, ExperimentResult]:
     """Read a bundle written by :func:`save_results`."""
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema") not in (1, RESULT_SCHEMA_VERSION):
+    if payload.get("schema") not in (1, 2, RESULT_SCHEMA_VERSION):
         raise ValueError(f"unsupported bundle schema: {payload.get('schema')!r}")
     return {
         name: result_from_dict(data) for name, data in payload["results"].items()

@@ -46,7 +46,9 @@ from repro.env import (
 )
 from repro.experiments.metrics import EpochRecord, Trace
 from repro.fl import FLClient, FLServer, run_federated_round
+from repro.fl.adversary import Adversary
 from repro.fl.compression import CompressionSpec
+from repro.fl.defense import DefenseSpec
 from repro.fl.privacy import DPSpec, PrivacyAccountant
 from repro.net import ChannelModel, achievable_rate, compute_latency, transmission_latency
 from repro.nn import build_model
@@ -56,6 +58,10 @@ from repro.sim.entities import SimRoundSpec
 from repro.sim.faults import fault_profile
 
 __all__ = ["Simulation", "ExperimentResult", "run_experiment"]
+
+#: EWMA weight of the newest "clean round" observation in the per-client
+#: reliability score fed back into selection when a defense is active.
+RELIABILITY_EMA = 0.5
 
 
 @dataclass
@@ -190,6 +196,12 @@ class Simulation:
             else None
         )
         self.dp_accountant = PrivacyAccountant()
+        # --- robustness ------------------------------------------------------
+        # Both default to None ("none" in the config): the adversary draws
+        # only from its own RNG streams and the defense gate is check-only,
+        # so attack-free runs stay bit-identical.
+        self.adversary = Adversary.from_config(config.attack, m, self.rng)
+        self.defense_spec = DefenseSpec.from_config(config.defense)
 
     # ------------------------------------------------------------------------
 
@@ -325,6 +337,11 @@ def run_experiment(
     local_losses = np.full(m, np.nan)
     stop_reason = "max_epochs"
     final_w = sim.server.w.copy()
+    # Per-client reliability (EWMA of "this round produced no rejected or
+    # clipped updates"); only maintained — and only surfaced to policies —
+    # when a defense aggregator is active, so the default path is unchanged.
+    reliability = np.ones(m)
+    track_reliability = sim.defense_spec is not None
 
     for t in range(config.max_epochs):
         if tel.enabled:
@@ -333,9 +350,16 @@ def run_experiment(
         costs = sim.prices.step()
         counts = sim.volumes.sample()
         channel_state = sim.channel.sample()
-        # Install this epoch's local data on available clients.
+        # Install this epoch's local data on available clients.  A
+        # label-flipping adversary poisons its local dataset here; every
+        # other attack corrupts the upload inside the round instead.
         for k in np.flatnonzero(available):
-            sim.clients[k].set_data(sim.streams[k].draw(int(counts[k])))
+            data = sim.streams[k].draw(int(counts[k]))
+            if sim.adversary is not None:
+                data = sim.adversary.poison_data(
+                    int(k), data, t, config.data.num_classes
+                )
+            sim.clients[k].set_data(data)
 
         if tel.enabled:
             tel.emit(
@@ -355,6 +379,7 @@ def run_experiment(
             tau_last=tau_last,
             local_losses=local_losses,
             tau_oracle=tau_oracle,
+            reliability=reliability.copy() if track_reliability else None,
         )
         with tel.timer("experiment.select"):
             decision: Decision = policy.select(ctx)
@@ -467,6 +492,9 @@ def run_experiment(
                 engine=config.training.engine,
                 sim_spec=sim_spec,
                 sim_rng=sim_rng,
+                adversary=sim.adversary,
+                defense=sim.defense_spec,
+                epoch=t,
             )
         final_w = result.w
         # Realized latencies: the band was shared by the actual uploaders
@@ -506,6 +534,24 @@ def run_experiment(
         if use_des and result.sim is not None:
             num_failed += len(result.sim.dropped)
 
+        num_quarantined = 0
+        if result.defense is not None:
+            num_quarantined = result.defense.num_quarantined
+            if track_reliability:
+                # A participant's round was "clean" when none of its
+                # uploads were rejected or clipped; the EWMA of that signal
+                # is the reliability score the FedL policy converts into a
+                # cost-side penalty (quarantined clients price themselves
+                # out of the selection).
+                flagged = (
+                    result.defense.rejected + result.defense.clipped
+                ) > 0
+                clean = np.where(flagged, 0.0, 1.0)
+                reliability[contributors] = (
+                    (1.0 - RELIABILITY_EMA) * reliability[contributors]
+                    + RELIABILITY_EMA * clean[contributors]
+                )
+
         trace.append(
             EpochRecord(
                 t=t,
@@ -522,6 +568,7 @@ def run_experiment(
                 rho=decision.rho,
                 eta_max=result.eta_max,
                 num_failed=num_failed,
+                num_quarantined=num_quarantined,
             )
         )
         if tel.enabled:
@@ -535,6 +582,7 @@ def run_experiment(
                     "cumulative_time": cumulative_time,
                     "remaining_budget": remaining,
                     "num_failed": num_failed,
+                    "num_quarantined": num_quarantined,
                 },
             )
         feedback_mask = contributors

@@ -77,7 +77,9 @@ __all__ = [
 # semantics change in a way the config/schema versions don't capture).
 # v2: PolicySpec gained the event-driven-runtime fields (engine,
 # aggregation, fault profile) and configs gained the "sim" section.
-CACHE_SCHEMA_VERSION = 2
+# v3: PolicySpec gained the robustness overlay fields (attack,
+# attack_fraction, defense) and configs the "attack"/"defense" sections.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -96,7 +98,10 @@ class PolicySpec:
     config's :class:`~repro.config.SimConfig` — so one sweep grid can
     compare aggregation policies and fault profiles without hand-building
     a config per cell.  (``deadline_s`` is the FedCS *selection* deadline;
-    ``sim_deadline_s`` is the runtime's barrier deadline.)
+    ``sim_deadline_s`` is the runtime's barrier deadline.)  Likewise
+    ``attack`` / ``attack_fraction`` / ``defense`` overlay the config's
+    :class:`~repro.config.AttackConfig` / :class:`~repro.config.DefenseConfig`
+    for robustness grids (attack kinds × defenses).
     """
 
     name: str
@@ -108,6 +113,9 @@ class PolicySpec:
     sim_deadline_s: Optional[float] = None
     quorum: Optional[int] = None
     fault_profile: Optional[str] = None
+    attack: Optional[str] = None
+    attack_fraction: Optional[float] = None
+    defense: Optional[str] = None
 
     @property
     def stream(self) -> str:
@@ -122,6 +130,9 @@ class PolicySpec:
             and self.sim_deadline_s is None
             and self.quorum is None
             and self.fault_profile is None
+            and self.attack is None
+            and self.attack_fraction is None
+            and self.defense is None
         ):
             return config
         training = dataclasses.replace(
@@ -138,7 +149,21 @@ class PolicySpec:
             quorum=self.quorum if self.quorum is not None else config.sim.quorum,
             faults=self.fault_profile or config.sim.faults,
         )
-        return dataclasses.replace(config, training=training, sim=sim)
+        attack = dataclasses.replace(
+            config.attack,
+            kind=self.attack or config.attack.kind,
+            fraction=(
+                self.attack_fraction
+                if self.attack_fraction is not None
+                else config.attack.fraction
+            ),
+        )
+        defense = dataclasses.replace(
+            config.defense, aggregator=self.defense or config.defense.aggregator
+        )
+        return dataclasses.replace(
+            config, training=training, sim=sim, attack=attack, defense=defense
+        )
 
 
 @dataclass(frozen=True)

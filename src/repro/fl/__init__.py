@@ -30,6 +30,19 @@ from repro.fl.convergence import (
     eta_to_rho,
 )
 from repro.fl.round_runner import RoundResult, run_federated_round
+from repro.fl.adversary import ATTACKS, Adversary
+from repro.fl.defense import (
+    AGGREGATORS,
+    CorruptUpdateError,
+    DefenseRoundReport,
+    DefenseSpec,
+    TrainingDivergedError,
+    coordinate_median,
+    krum,
+    robust_aggregate,
+    screen_updates,
+    trimmed_mean,
+)
 from repro.fl.compression import (
     CompressedUpdate,
     CompressionSpec,
@@ -72,6 +85,18 @@ __all__ = [
     "eta_to_rho",
     "RoundResult",
     "run_federated_round",
+    "ATTACKS",
+    "Adversary",
+    "AGGREGATORS",
+    "CorruptUpdateError",
+    "DefenseRoundReport",
+    "DefenseSpec",
+    "TrainingDivergedError",
+    "coordinate_median",
+    "krum",
+    "robust_aggregate",
+    "screen_updates",
+    "trimmed_mean",
     "CompressedUpdate",
     "CompressionSpec",
     "cmfl_relevance",

@@ -1,0 +1,295 @@
+"""Update validation and Byzantine-robust aggregation.
+
+Every upload crosses this layer before it can touch the global model:
+
+1. **Validation gate** — every update is checked for finite values.  With
+   no defense configured a non-finite update raises a *typed*
+   :class:`CorruptUpdateError` naming the client, epoch and iteration
+   (fast-fail for honest LR blow-ups as much as for attacks); with a
+   defense active the update is *quarantined* — dropped from the
+   aggregate and recorded against the client — so a NaN/Inf payload can
+   never reach aggregation in any engine.
+2. **Norm clipping** — under the ``norm-clip`` aggregator, updates whose
+   L2 norm exceeds the bound (configured, or the median survivor norm
+   when adaptive) are rescaled onto it and recorded as clipped.
+3. **Robust aggregation** — pluggable combiners over the surviving
+   updates: coordinate-wise ``median``, ``trimmed-mean`` (drop the
+   ``⌊trim·n⌋`` extremes per coordinate), ``norm-clip``-ed weighted mean,
+   and ``krum`` (Blanchard et al.: the update closest to its ``n−f−2``
+   nearest neighbors).  ``mean`` keeps the plain (weighted) average but
+   still applies the quarantine gate.
+
+The ``none``/no-defense path performs only the finite check and leaves
+values, weights and aggregation order untouched — the attack-free
+weighted-mean pipeline stays bit-identical to a build without this
+module (bench-gated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "AGGREGATORS",
+    "CorruptUpdateError",
+    "TrainingDivergedError",
+    "DefenseSpec",
+    "DefenseRoundReport",
+    "ScreenedUpdates",
+    "screen_updates",
+    "coordinate_median",
+    "trimmed_mean",
+    "krum",
+    "robust_aggregate",
+]
+
+#: Robust aggregators selectable from :class:`repro.config.DefenseConfig`
+#: and the CLI.  ``none`` disables the defense layer (gate still fast-fails
+#: on non-finite updates); ``mean`` keeps plain averaging but quarantines.
+AGGREGATORS = ("none", "mean", "median", "trimmed-mean", "norm-clip", "krum")
+
+
+class CorruptUpdateError(RuntimeError):
+    """A client uploaded a non-finite update and no defense is active."""
+
+    def __init__(self, client_id: int, epoch: int, iteration: int) -> None:
+        self.client_id = int(client_id)
+        self.epoch = int(epoch)
+        self.iteration = int(iteration)
+        super().__init__(
+            f"client {client_id} uploaded a non-finite update at epoch "
+            f"{epoch}, iteration {iteration} (enable a defense aggregator "
+            "to quarantine instead of aborting)"
+        )
+
+
+class TrainingDivergedError(RuntimeError):
+    """The global model left the finite range (LR blow-up / overflow)."""
+
+    def __init__(self, epoch: int, iteration: int) -> None:
+        self.epoch = int(epoch)
+        self.iteration = int(iteration)
+        super().__init__(
+            f"global model became non-finite at epoch {epoch}, iteration "
+            f"{iteration} — training diverged"
+        )
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """Configuration of the validation gate + robust aggregator."""
+
+    aggregator: str = "mean"
+    trim_fraction: float = 0.2          # trimmed-mean: drop ⌊trim·n⌋ per side
+    norm_bound: Optional[float] = None  # norm-clip bound (None = adaptive:
+                                        # the median norm of the survivors)
+    krum_f: Optional[int] = None        # assumed Byzantine count (None =
+                                        # ⌈n/5⌉, capped so n − f − 2 >= 1)
+
+    def __post_init__(self) -> None:
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {self.aggregator!r}; known: {AGGREGATORS}"
+            )
+        if not (0.0 <= self.trim_fraction < 0.5):
+            raise ValueError("trim_fraction must be in [0, 0.5)")
+        if self.norm_bound is not None and self.norm_bound <= 0:
+            raise ValueError("norm_bound must be positive")
+        if self.krum_f is not None and self.krum_f < 1:
+            raise ValueError("krum_f must be >= 1")
+
+    @classmethod
+    def from_config(cls, defense) -> Optional["DefenseSpec"]:
+        """Build from a :class:`repro.config.DefenseConfig` (None = off)."""
+        if defense is None or defense.aggregator == "none":
+            return None
+        return cls(
+            aggregator=defense.aggregator,
+            trim_fraction=defense.trim_fraction,
+            norm_bound=defense.norm_bound,
+            krum_f=defense.krum_f,
+        )
+
+
+@dataclass
+class DefenseRoundReport:
+    """Per-round quarantine bookkeeping (one entry per client id)."""
+
+    aggregator: str
+    rejected: np.ndarray                # (M,) int — non-finite uploads dropped
+    clipped: np.ndarray                 # (M,) int — norm-clipped uploads
+    empty_iterations: int = 0           # iterations where every update died
+
+    @classmethod
+    def empty(cls, num_clients: int, aggregator: str) -> "DefenseRoundReport":
+        return cls(
+            aggregator=aggregator,
+            rejected=np.zeros(num_clients, dtype=int),
+            clipped=np.zeros(num_clients, dtype=int),
+        )
+
+    @property
+    def num_quarantined(self) -> int:
+        """Distinct clients with at least one rejected upload."""
+        return int((self.rejected > 0).sum())
+
+    @property
+    def total_rejected(self) -> int:
+        return int(self.rejected.sum())
+
+    @property
+    def total_clipped(self) -> int:
+        return int(self.clipped.sum())
+
+
+@dataclass
+class ScreenedUpdates:
+    """Output of the validation gate for one global iteration."""
+
+    updates: List[np.ndarray]
+    sample_counts: Optional[List[int]]
+    client_ids: List[int]
+    rejected_ids: List[int] = field(default_factory=list)
+    clipped_ids: List[int] = field(default_factory=list)
+
+
+def screen_updates(
+    updates: Sequence[np.ndarray],
+    client_ids: Sequence[int],
+    *,
+    defense: Optional[DefenseSpec],
+    epoch: int,
+    iteration: int,
+    sample_counts: Optional[Sequence[int]] = None,
+) -> ScreenedUpdates:
+    """Run the validation gate over one iteration's uploads.
+
+    With ``defense=None`` this is a pure check: the first non-finite
+    update raises :class:`CorruptUpdateError` and finite inputs pass
+    through untouched (same list objects, same order — the bit-identity
+    contract of the undefended path).  With a defense, non-finite updates
+    are quarantined and — under ``norm-clip`` — oversized survivors are
+    rescaled onto the bound.
+    """
+    if len(updates) != len(client_ids):
+        raise ValueError("one client id per update required")
+    if sample_counts is not None and len(sample_counts) != len(updates):
+        raise ValueError("one sample count per update required")
+    finite = [bool(np.isfinite(d).all()) for d in updates]
+    if defense is None:
+        for ok, cid in zip(finite, client_ids):
+            if not ok:
+                raise CorruptUpdateError(cid, epoch, iteration)
+        return ScreenedUpdates(
+            updates=list(updates),
+            sample_counts=list(sample_counts) if sample_counts is not None else None,
+            client_ids=[int(c) for c in client_ids],
+        )
+    kept: List[np.ndarray] = []
+    kept_counts: List[int] = [] if sample_counts is not None else None
+    kept_ids: List[int] = []
+    rejected: List[int] = []
+    for pos, (ok, d) in enumerate(zip(finite, updates)):
+        if not ok:
+            rejected.append(int(client_ids[pos]))
+            continue
+        kept.append(np.asarray(d, dtype=float))
+        kept_ids.append(int(client_ids[pos]))
+        if kept_counts is not None:
+            kept_counts.append(int(sample_counts[pos]))
+    clipped: List[int] = []
+    if defense.aggregator == "norm-clip" and kept:
+        norms = np.asarray([float(np.linalg.norm(d)) for d in kept])
+        bound = (
+            defense.norm_bound
+            if defense.norm_bound is not None
+            else float(np.median(norms))
+        )
+        if bound > 0.0:
+            for pos, (d, norm) in enumerate(zip(kept, norms)):
+                if norm > bound:
+                    kept[pos] = d * (bound / norm)
+                    clipped.append(kept_ids[pos])
+    return ScreenedUpdates(
+        updates=kept,
+        sample_counts=kept_counts,
+        client_ids=kept_ids,
+        rejected_ids=rejected,
+        clipped_ids=clipped,
+    )
+
+
+# -- robust combiners ----------------------------------------------------------
+
+
+def _stacked(updates: Sequence[np.ndarray]) -> np.ndarray:
+    if not updates:
+        raise ValueError("no updates to aggregate")
+    return np.stack([np.asarray(d, dtype=float) for d in updates])
+
+
+def coordinate_median(updates: Sequence[np.ndarray]) -> np.ndarray:
+    """Coordinate-wise median of the updates (unweighted)."""
+    return np.median(_stacked(updates), axis=0)
+
+
+def trimmed_mean(
+    updates: Sequence[np.ndarray], trim_fraction: float = 0.2
+) -> np.ndarray:
+    """Coordinate-wise mean after dropping the ``⌊trim·n⌋`` extremes per side.
+
+    Degenerates to the plain (unweighted) mean when ``⌊trim·n⌋ = 0`` and
+    to the coordinate median when trimming would exhaust the sample.
+    """
+    if not (0.0 <= trim_fraction < 0.5):
+        raise ValueError("trim_fraction must be in [0, 0.5)")
+    stacked = _stacked(updates)
+    n = stacked.shape[0]
+    k = int(np.floor(trim_fraction * n))
+    if 2 * k >= n:
+        return np.median(stacked, axis=0)
+    if k == 0:
+        return stacked.mean(axis=0)
+    ordered = np.sort(stacked, axis=0)
+    return ordered[k : n - k].mean(axis=0)
+
+
+def krum(updates: Sequence[np.ndarray], f: Optional[int] = None) -> np.ndarray:
+    """Krum (Blanchard et al. 2017): the single update with the smallest
+    summed squared distance to its ``n − f − 2`` nearest neighbors.
+
+    ``f=None`` assumes ``⌈n/5⌉`` Byzantine clients.  When ``n < f + 3``
+    (too few updates for the Krum guarantee) the combiner falls back to
+    the coordinate median, which stays bounded for any minority of
+    outliers.
+    """
+    stacked = _stacked(updates)
+    n = stacked.shape[0]
+    f_eff = int(np.ceil(n / 5)) if f is None else int(f)
+    if n - f_eff - 2 < 1:
+        return np.median(stacked, axis=0)
+    diffs = stacked[:, None, :] - stacked[None, :, :]
+    sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+    np.fill_diagonal(sq, np.inf)
+    neighbor_d = np.sort(sq, axis=1)[:, : n - f_eff - 2]
+    scores = neighbor_d.sum(axis=1)
+    return stacked[int(np.argmin(scores))].copy()
+
+
+def robust_aggregate(
+    updates: Sequence[np.ndarray], spec: DefenseSpec
+) -> np.ndarray:
+    """Combined model delta for the non-mean robust aggregators."""
+    if spec.aggregator == "median":
+        return coordinate_median(updates)
+    if spec.aggregator == "trimmed-mean":
+        return trimmed_mean(updates, spec.trim_fraction)
+    if spec.aggregator == "krum":
+        return krum(updates, spec.krum_f)
+    raise ValueError(
+        f"aggregator {spec.aggregator!r} is not a robust combiner "
+        "(mean/norm-clip delegate to the server's weighted average)"
+    )

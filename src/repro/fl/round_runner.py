@@ -39,6 +39,13 @@ import numpy as np
 from repro.fl.batched import BatchedClientEngine, batched_local_losses
 from repro.fl.client import FLClient
 from repro.fl.compression import FLOAT_BITS, compress_update
+from repro.fl.defense import (
+    DefenseRoundReport,
+    DefenseSpec,
+    TrainingDivergedError,
+    robust_aggregate,
+    screen_updates,
+)
 from repro.fl.privacy import gaussian_mechanism
 from repro.fl.server import FLServer
 from repro.obs import get_telemetry
@@ -73,6 +80,8 @@ class RoundResult:
                                         # (None for the closed-form engines)
     sim: Optional[RoundOutcome] = None  # DES engine: full round outcome
                                         # (drops, retries, timeline)
+    defense: Optional[DefenseRoundReport] = None   # quarantine bookkeeping
+                                        # (None when no defense is active)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "w", np.asarray(self.w, dtype=float))
@@ -106,6 +115,9 @@ def run_federated_round(
     engine: str = "auto",
     sim_spec: "SimRoundSpec | None" = None,
     sim_rng: np.random.Generator | None = None,
+    adversary: "Adversary | None" = None,
+    defense: DefenseSpec | None = None,
+    epoch: int = 0,
 ) -> RoundResult:
     """Run ``iterations`` global iterations with the given participants.
 
@@ -123,6 +135,16 @@ def run_federated_round(
     a :class:`repro.sim.entities.SimRoundSpec` whose ``client_ids`` are
     the selected clients' ids — then train on the simulated per-iteration
     contributor sets), or ``"auto"``.
+
+    ``adversary`` (a :class:`repro.fl.adversary.Adversary`) corrupts
+    compromised participants' payloads after DP/compression — the
+    attacker controls the bytes it uploads.  ``defense`` (a
+    :class:`repro.fl.defense.DefenseSpec`) screens every upload before
+    aggregation: non-finite updates are quarantined (or, with no defense,
+    raise a typed :class:`~repro.fl.defense.CorruptUpdateError` naming
+    the client, ``epoch`` and iteration) and the surviving updates flow
+    through the configured robust aggregator.  The no-defense path leaves
+    values and aggregation order bit-identical.
     """
     if aggregation not in ("uniform", "weighted"):
         raise ValueError(f"unknown aggregation {aggregation!r}")
@@ -168,6 +190,11 @@ def run_federated_round(
         if tel.enabled:
             _emit_sim_telemetry(tel, sim_spec, outcome)
     num_available = int(avail.sum())
+    defense_report = (
+        DefenseRoundReport.empty(len(clients), defense.aggregator)
+        if defense is not None
+        else None
+    )
     # Participant sample sizes, computed once and reused for the weighted
     # aggregation and the participant-loss weights below.
     part_sizes = [c.num_samples for c in participants]
@@ -206,6 +233,7 @@ def run_federated_round(
             )
         w_broadcast = server.w.copy()
         updates: List[np.ndarray] = []
+        update_ids: List[int] = []
         with tel.timer("round.local_solve"):
             solves = (
                 batched_engine.train_iteration_all(
@@ -245,16 +273,51 @@ def run_federated_round(
                     ratio_sum[client.client_id] += 1.0
                     compressed_bits += d.size * FLOAT_BITS
                 full_bits += d.size * FLOAT_BITS
+                if adversary is not None:
+                    # The attacker controls its final payload: corruption
+                    # applies after DP/compression, just before upload.
+                    d = adversary.corrupt_update(client.client_id, d, epoch)
                 updates.append(d)
+                update_ids.append(client.client_id)
                 contrib_counts[client.client_id] += 1
                 prev = eta_by_client.get(client.client_id, 0.0)
                 eta_by_client[client.client_id] = max(prev, eta_hat)
         with tel.timer("round.aggregate"):
-            server.aggregate_updates(
+            # Validation gate: with no defense this only *checks* (raising
+            # a typed error on non-finite uploads) and passes the original
+            # updates through untouched; with a defense it quarantines and
+            # (under norm-clip) rescales.  Either way a NaN/Inf payload
+            # can never reach the weighted average below.
+            screened = screen_updates(
                 updates,
-                num_available=num_available,
+                update_ids,
+                defense=defense,
+                epoch=epoch,
+                iteration=it,
                 sample_counts=iter_counts,
             )
+            if defense_report is not None:
+                for cid in screened.rejected_ids:
+                    defense_report.rejected[cid] += 1
+                for cid in screened.clipped_ids:
+                    defense_report.clipped[cid] += 1
+                if not screened.updates:
+                    defense_report.empty_iterations += 1
+            if defense is None or defense.aggregator in ("mean", "norm-clip"):
+                # The server's own (weighted) average — bit-identical to
+                # the undefended path when nothing was quarantined.
+                server.aggregate_updates(
+                    screened.updates,
+                    num_available=num_available,
+                    sample_counts=screened.sample_counts,
+                )
+            elif screened.updates:
+                server.apply_delta(robust_aggregate(screened.updates, defense))
+            if not np.isfinite(server.w).all():
+                # Honest-run fast fail: finite updates can still overflow
+                # the sum (LR blow-up) — stop with a typed error instead
+                # of silently training on a non-finite model.
+                raise TrainingDivergedError(epoch, it)
             prev_global_delta = server.w - w_broadcast
             global_grad = FLServer.aggregate_gradients(
                 participant_grads(iter_parts)
@@ -308,6 +371,42 @@ def run_federated_round(
     if tel.enabled:
         tel.counter("round.upload_bits_full", full_bits)
         tel.counter("round.upload_bits_sent", compressed_bits)
+        if adversary is not None:
+            compromised = [
+                c.client_id for c in participants
+                if adversary.is_adversary(c.client_id)
+            ]
+            tel.emit(
+                "adversary.round",
+                data={
+                    "attack": adversary.kind,
+                    "active": adversary.active(epoch),
+                    "compromised_participants": compromised,
+                },
+            )
+        if defense_report is not None:
+            tel.counter(
+                "defense.rejected_updates", defense_report.total_rejected
+            )
+            tel.counter("defense.clipped_updates", defense_report.total_clipped)
+            tel.emit(
+                "defense.round",
+                data={
+                    "aggregator": defense_report.aggregator,
+                    "rejected": {
+                        str(k): int(v)
+                        for k, v in enumerate(defense_report.rejected)
+                        if v
+                    },
+                    "clipped": {
+                        str(k): int(v)
+                        for k, v in enumerate(defense_report.clipped)
+                        if v
+                    },
+                    "empty_iterations": defense_report.empty_iterations,
+                    "quarantined_clients": defense_report.num_quarantined,
+                },
+            )
         tel.emit(
             "round.complete",
             data={
@@ -338,6 +437,7 @@ def run_federated_round(
             outcome.completion_time if outcome is not None else None
         ),
         sim=outcome,
+        defense=defense_report,
     )
 
 

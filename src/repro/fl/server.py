@@ -80,6 +80,15 @@ class FLServer:
         self.w = self.w + total / denom
         return self.w
 
+    def apply_delta(self, delta: np.ndarray) -> np.ndarray:
+        """Apply an already-combined model delta (robust aggregators
+        compute their own combination; see :mod:`repro.fl.defense`)."""
+        delta = np.asarray(delta, dtype=float)
+        if delta.shape != self.w.shape:
+            raise ValueError("delta shape mismatch")
+        self.w = self.w + delta
+        return self.w
+
     @staticmethod
     def aggregate_gradients(grads: Sequence[np.ndarray]) -> np.ndarray:
         """Mean of the participants' gradients (the broadcast ``J_t``/ḡ)."""

@@ -29,6 +29,7 @@ __all__ = [
     "timing_table",
     "trajectory_section",
     "sim_timeline_section",
+    "quarantine_section",
 ]
 
 
@@ -218,6 +219,69 @@ def sim_timeline_section(
     return "\n".join(lines)
 
 
+def quarantine_section(
+    events: Sequence[Event],
+    run: str,
+    max_clients: int = 10,
+) -> Optional[str]:
+    """Defense-layer digest from the ``defense.round``/``adversary.round``
+    events: per-client rejected/clipped update totals, empty-iteration
+    count, and (when an adversary was configured) the attack roster size.
+
+    Returns ``None`` when the run recorded no defense activity.
+    """
+    defense_rounds = [
+        e for e in events if e.run == run and e.kind == "defense.round"
+    ]
+    if not defense_rounds:
+        return None
+    rejected: Counter = Counter()
+    clipped: Counter = Counter()
+    empty_iterations = 0
+    aggregators = set()
+    for event in defense_rounds:
+        aggregators.add(str(event.data.get("aggregator", "?")))
+        for cid, n in event.data.get("rejected", {}).items():
+            rejected[int(cid)] += int(_num(n, 0.0))
+        for cid, n in event.data.get("clipped", {}).items():
+            clipped[int(cid)] += int(_num(n, 0.0))
+        empty_iterations += int(_num(event.data.get("empty_iterations", 0), 0.0))
+    attacks = {
+        str(e.data.get("attack", "?")): int(
+            _num(e.data.get("compromised_participants", 0), 0.0)
+        )
+        for e in events
+        if e.run == run and e.kind == "adversary.round"
+    }
+    lines = [
+        f"update quarantine — run {run!r} "
+        f"(aggregator {'/'.join(sorted(aggregators))}, "
+        f"{len(defense_rounds)} defended rounds)"
+    ]
+    if attacks:
+        attack_text = ", ".join(f"{k}" for k in sorted(attacks))
+        lines.append(f"  configured attack: {attack_text}")
+    lines.append(
+        f"  rejected_updates={sum(rejected.values())}  "
+        f"clipped_updates={sum(clipped.values())}  "
+        f"empty_iterations={empty_iterations}"
+    )
+    offenders = Counter()
+    for cid, n in rejected.items():
+        offenders[cid] += n
+    for cid, n in clipped.items():
+        offenders[cid] += n
+    flagged = [cid for cid, n in offenders.most_common(max_clients) if n > 0]
+    for cid in flagged:
+        lines.append(
+            f"    k={cid:>3d}  rejected={rejected.get(cid, 0):<4d}"
+            f"clipped={clipped.get(cid, 0)}"
+        )
+    if not flagged:
+        lines.append("    no updates rejected or clipped")
+    return "\n".join(lines)
+
+
 def _warm_start_summary(counters: Mapping[str, Any]) -> Optional[str]:
     """One-line solver warm-start digest from the registry counters.
 
@@ -309,6 +373,9 @@ def render_trace(
         sim_section = sim_timeline_section(events, r)
         if sim_section:
             sections.append(sim_section)
+        defense_section = quarantine_section(events, r)
+        if defense_section:
+            sections.append(defense_section)
     if run is None and len(runs) > len(chosen) and chosen:
         sections.append(
             f"({len(runs) - len(chosen)} more runs in this trace; "

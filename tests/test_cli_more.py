@@ -163,3 +163,91 @@ class TestSweepDesFlags:
         )
         assert rc == 2
         assert "requires --quorum" in capsys.readouterr().err
+
+
+class TestRobustnessFlags:
+    @pytest.mark.parametrize(
+        "extra, message",
+        [
+            (["--attack-fraction", "0.3"], "--attack-fraction only applies"),
+            (["--attack", "sign-flip", "--attack-fraction", "1.5"],
+             "--attack-fraction must be in (0, 1)"),
+            (["--attack", "sign-flip", "--attack-fraction", "0"],
+             "--attack-fraction must be in (0, 1)"),
+        ],
+    )
+    def test_sim_attack_semantic_errors_exit_2(self, capsys, extra, message):
+        rc = main(["sim", *SIM_SMALL, *extra])
+        assert rc == 2
+        assert message in capsys.readouterr().err
+
+    def test_run_attack_fraction_without_attack_exits_2(self, capsys):
+        rc = main(["run", *SIM_SMALL, "--attack-fraction", "0.2"])
+        assert rc == 2
+        assert "--attack-fraction only applies" in capsys.readouterr().err
+
+    def test_unknown_attack_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["run", *SIM_SMALL, "--attack", "replay"])
+        assert err.value.code == 2
+
+    def test_unknown_defense_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["run", *SIM_SMALL, "--defense", "blockchain"])
+        assert err.value.code == 2
+
+    def test_run_attack_with_defense_prints_quarantine(self, capsys):
+        rc = main(
+            ["run", *SIM_SMALL, "--epochs", "4",
+             "--attack", "sign-flip", "--defense", "trimmed-mean"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attack=sign-flip" in out
+        assert "defense=trimmed-mean" in out
+        assert "quarantined_updates=" in out
+
+    def test_nan_attack_without_defense_exits_1(self, capsys):
+        # 49% nan attackers against a floor of 5 of 8: every round carries
+        # a corrupt upload, so the undefended run must abort.
+        rc = main(
+            ["run", "--budget", "100", "--clients", "8",
+             "--participants", "5", "--epochs", "4",
+             "--attack", "nan", "--attack-fraction", "0.49"]
+        )
+        assert rc == 1
+        assert "non-finite update" in capsys.readouterr().err
+
+    def test_sim_nan_attack_without_defense_exits_1(self, capsys):
+        rc = main(
+            ["sim", "--budget", "100", "--clients", "8",
+             "--participants", "5", "--epochs", "4",
+             "--attack", "nan", "--attack-fraction", "0.49"]
+        )
+        assert rc == 1
+        assert "non-finite update" in capsys.readouterr().err
+
+    def test_sweep_attack_flags_accepted(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--budgets", "60",
+                "--clients", "8",
+                "--participants", "3",
+                "--epochs", "2",
+                "--policies", "FedAvg",
+                "--workers", "1",
+                "--attack", "sign-flip",
+                "--defense", "median",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert "budget impact" in capsys.readouterr().out
+
+    def test_sweep_attack_fraction_validated(self, capsys):
+        rc = main(
+            ["sweep", "--budgets", "60", "--attack-fraction", "0.2"]
+        )
+        assert rc == 2
+        assert "--attack-fraction only applies" in capsys.readouterr().err

@@ -106,3 +106,64 @@ class TestResultBundles:
         path.write_text(json.dumps({"schema": 99, "results": {}}))
         with pytest.raises(ValueError):
             load_results(path)
+
+
+class TestAtomicWrites:
+    """save_results/save_traces must never leave a torn file behind."""
+
+    def test_failed_serialization_preserves_old_file(self, tmp_path, small_result):
+        path = tmp_path / "results.json"
+        save_results({"a": small_result}, path)
+        before = path.read_text()
+
+        class Exploding:
+            """Raises midway through result_to_dict."""
+
+            @property
+            def trace(self):
+                raise RuntimeError("boom")
+
+        with pytest.raises(Exception):
+            save_results({"a": Exploding()}, path)
+        assert path.read_text() == before          # old payload intact
+        assert list(tmp_path.glob("*.tmp")) == []  # no temp litter
+
+    def test_save_results_no_temp_litter_on_success(self, tmp_path, small_result):
+        path = tmp_path / "out.json"
+        save_results({"a": small_result}, path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_save_traces_atomic(self, tmp_path, small_result):
+        from repro.experiments.persistence import load_traces, save_traces
+
+        path = tmp_path / "traces.json"
+        save_traces({"t": small_result.trace}, path)
+        assert list(tmp_path.glob("*.tmp")) == []
+        loaded = load_traces(path)
+        assert loaded["t"].equals(small_result.trace)
+
+
+class TestRobustnessSchema:
+    def test_attack_defense_round_trip(self):
+        cfg = ExperimentConfig()
+        from dataclasses import replace
+
+        from repro.config import AttackConfig, DefenseConfig
+
+        cfg = replace(
+            cfg,
+            attack=AttackConfig(kind="gauss", fraction=0.25, scale=2.0),
+            defense=DefenseConfig(aggregator="trimmed-mean", trim_fraction=0.3),
+        )
+        restored = config_from_dict(config_to_dict(cfg))
+        assert restored == cfg
+
+    def test_v2_payload_without_attack_sections_loads(self, small_result):
+        payload = result_to_dict(small_result)
+        payload["schema"] = 2
+        payload["config"].pop("attack")
+        payload["config"].pop("defense")
+        restored = result_from_dict(payload)
+        assert restored.config.attack.kind == "none"
+        assert restored.config.defense.aggregator == "none"

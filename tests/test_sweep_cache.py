@@ -255,3 +255,32 @@ class TestPolicySpecOverlay:
         )
         direct_job = SweepJob(PolicySpec("FedL"), direct_cfg)
         assert results_identical(execute_job(spec_job), execute_job(direct_job))
+
+
+class TestRobustnessOverlay:
+    """--attack/--attack-fraction/--defense overlay the job config."""
+
+    def test_overlay_sets_attack_and_defense(self):
+        spec = PolicySpec(
+            "FedL", attack="sign-flip", attack_fraction=0.3, defense="median"
+        )
+        cfg = spec.apply_to(tiny_config())
+        assert cfg.attack.kind == "sign-flip"
+        assert cfg.attack.fraction == 0.3
+        assert cfg.defense.aggregator == "median"
+
+    def test_overlay_defaults_leave_config_unchanged(self):
+        cfg = tiny_config()
+        assert PolicySpec("FedL").apply_to(cfg) is cfg
+
+    def test_invalid_attack_overlay_raises(self):
+        with pytest.raises(ValueError, match="attack"):
+            PolicySpec("FedL", attack="replay").apply_to(tiny_config())
+
+    def test_attack_fields_change_cache_key(self):
+        base = SweepJob(PolicySpec("FedL"), tiny_config())
+        attacked = SweepJob(
+            PolicySpec("FedL", attack="sign-flip", defense="median"),
+            tiny_config(),
+        )
+        assert job_key(base) != job_key(attacked)
