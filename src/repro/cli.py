@@ -1,9 +1,9 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro run      --policy FedL --dataset fmnist --budget 600 \
-                             [--telemetry out/trace]
+                             [--param KEY=VALUE ...] [--telemetry out/trace]
     python -m repro sim      --policy FedL --aggregation deadline \
                              --deadline 0.05 --faults flaky-uplink \
                              [--telemetry out/trace]
@@ -11,10 +11,22 @@ Seven subcommands::
     python -m repro sweep    --dataset fmnist --budgets 300 800 2000 \
                              --seeds 0 1 2 --workers 4 [--telemetry out/trace] \
                              --cache-dir ~/.cache/repro/sweeps
+    python -m repro tournament [--quick] [--list] [--strategies A B] \
+                             [--scenarios X Y] [--seeds 0 1 2] \
+                             [--out REPORT.json] [--cache-dir DIR]
     python -m repro trace    out/trace [--run PREFIX]
     python -m repro regret   --horizons 25 50 100
     python -m repro bench    [--quick] [--out BENCH.json] \
                              [--check BENCH_PR3.json --tolerance 0.2]
+
+``tournament`` runs every registered selection strategy (the zoo in
+:mod:`repro.strategies`) across a scenario matrix (partition skew, price
+regimes, Byzantine attacks, availability churn, DES fault profiles)
+through the sweep engine + cache, and prints a ranked report (per-
+scenario winners, overall ranking, head-to-head wins); ``--out`` also
+persists the report JSON.  ``--param KEY=VALUE`` (run/sweep) overrides a
+strategy's registry parameters — unknown strategies or parameters exit
+with code 2.
 
 ``sim`` is ``run`` on the event-driven network runtime
 (:mod:`repro.sim`): each round is simulated message-by-message with the
@@ -50,7 +62,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -77,10 +91,12 @@ from repro.obs import Telemetry, render_trace, use_telemetry
 from repro.rng import RngFactory
 from repro.sim.entities import AGGREGATION_POLICIES
 from repro.sim.faults import FAULT_PROFILES, ParticipationFloorError
+from repro.strategies import STRATEGY_REGISTRY, StrategyError, strategy_names
 
 __all__ = ["main", "build_parser"]
 
-ALL_POLICIES = POLICY_NAMES + ("Fair-FedL", "UCB", "Oracle")
+#: Every strategy the CLI can name — the registry, in registration order.
+ALL_POLICIES = strategy_names()
 
 #: Exit code for argument/usage errors (matches argparse's own).
 EXIT_USAGE = 2
@@ -128,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_run)
     robustness(p_run)
     p_run.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
+    p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="override a strategy registry parameter "
+                       "(repeatable; values are JSON, e.g. --param d=9)")
     p_run.add_argument("--budget", type=float, default=800.0)
     p_run.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                        help="record a structured JSONL event trace + manifest "
@@ -181,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default: just --seed); losses are averaged")
     p_swp.add_argument("--policies", nargs="+", default=list(POLICY_NAMES),
                        choices=list(ALL_POLICIES))
+    p_swp.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="strategy registry parameter override applied to "
+                       "every policy in the grid that declares it "
+                       "(repeatable; values are JSON)")
     def positive_int(text: str) -> int:
         value = int(text)
         if value < 1:
@@ -211,6 +234,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record per-job/worker JSONL event traces + a "
                        "merged manifest into DIR")
     p_swp.add_argument("--quiet", "--no-progress", dest="quiet",
+                       action="store_true",
+                       help="suppress the per-job progress lines on stderr")
+
+    p_trn = sub.add_parser(
+        "tournament",
+        help="rank every registered strategy across a scenario matrix "
+        "(partitions, prices, attacks, churn) via the sweep engine",
+    )
+    p_trn.add_argument("--list", action="store_true", dest="list_registry",
+                       help="list registered strategies and scenarios, "
+                       "then exit")
+    p_trn.add_argument("--quick", action="store_true",
+                       help="tiny smoke-scale matrix (synchronous quick "
+                       "scenarios, 1 seed, seconds per strategy)")
+    p_trn.add_argument("--strategies", nargs="+", default=None, metavar="NAME",
+                       help="restrict to these registered strategies "
+                       "(default: the whole registry)")
+    p_trn.add_argument("--scenarios", nargs="+", default=None, metavar="NAME",
+                       help="restrict to these scenarios (default: quick "
+                       "matrix with --quick, else every scenario)")
+    p_trn.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="seeds per cell (default: 0 with --quick, "
+                       "else 0 1 2)")
+    p_trn.add_argument("--workers", type=positive_int, default=None,
+                       help="worker processes (default: all cores; "
+                       "1 = serial)")
+    p_trn.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                       help="reuse/store per-cell results in this directory")
+    p_trn.add_argument("--out", type=str, default=None, metavar="REPORT.json",
+                       help="also persist the report as versioned JSON")
+    p_trn.add_argument("--quiet", "--no-progress", dest="quiet",
                        action="store_true",
                        help="suppress the per-job progress lines on stderr")
 
@@ -339,6 +393,31 @@ def _attack_overlay(cfg, args: argparse.Namespace):
     return dataclasses.replace(cfg, attack=attack, defense=defense)
 
 
+def _parse_params(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--param KEY=VALUE`` flags into an override dict.
+
+    Values are JSON (``3``, ``0.5``, ``true``, ``"des"``), with a bare-
+    string fallback so ``--param base=FedCS`` works unquoted.  Raises
+    :class:`~repro.strategies.StrategyError` on malformed items so the
+    caller maps it to exit code 2.
+    """
+    params: dict = {}
+    for item in pairs:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise StrategyError(f"--param expects KEY=VALUE, got {item!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        if value is not None and not isinstance(value, (bool, int, float, str)):
+            raise StrategyError(
+                f"--param {key}: value must be a scalar, got {raw!r}"
+            )
+        params[key] = value
+    return params
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     error = _validate_common(args) or _validate_attack_args(
         args.attack, args.attack_fraction
@@ -355,7 +434,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_epochs=args.epochs,
     )
     cfg = _attack_overlay(cfg, args)
-    policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
+    try:
+        params = _parse_params(args.param)
+        policy = make_policy(
+            args.policy, cfg, RngFactory(args.seed).get("cli.policy"),
+            params=params or None,
+        )
+    except StrategyError as exc:
+        return _usage_error(str(exc))
     hub = (
         Telemetry.for_directory(
             args.telemetry, run_id=f"{args.policy}[seed={args.seed}]"
@@ -532,6 +618,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     seeds = args.seeds if args.seeds else [args.seed]
     if not seeds:
         return _usage_error("--seeds must name at least one seed")
+    # --param overrides bind per policy to the parameters it declares;
+    # a key no policy in the grid declares is a usage error.
+    try:
+        params = _parse_params(args.param)
+    except StrategyError as exc:
+        return _usage_error(str(exc))
+    declared = {
+        name: {p.name for p in STRATEGY_REGISTRY[name].params}
+        for name in args.policies
+    }
+    for key in params:
+        if not any(key in names for names in declared.values()):
+            return _usage_error(
+                f"--param {key}: no selected policy declares this parameter"
+            )
+    policy_params = {
+        name: {k: v for k, v in params.items() if k in declared[name]}
+        for name in args.policies
+    }
     spec_kwargs = dict(
         engine=engine,
         aggregation=args.aggregation,
@@ -555,7 +660,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 max_epochs=args.epochs,
             )
             jobs.extend(
-                SweepJob(policy=PolicySpec(name=name, **spec_kwargs), config=cfg)
+                SweepJob(
+                    policy=PolicySpec(
+                        name=name, params=policy_params[name], **spec_kwargs
+                    ),
+                    config=cfg,
+                )
                 for name in args.policies
             )
 
@@ -620,6 +730,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         }
         path = save_results(named, args.save)
         print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from repro.experiments.tournament import (
+        SCENARIOS,
+        UnknownScenarioError,
+        format_report,
+        full_base_config,
+        get_scenario,
+        quick_base_config,
+        run_tournament,
+        save_report,
+        scenario_names,
+    )
+    from repro.strategies import get_strategy
+
+    if args.list_registry:
+        print("registered strategies:")
+        for name, spec in STRATEGY_REGISTRY.items():
+            caps = ",".join(spec.capabilities()) or "-"
+            print(f"  {name:<14} [{caps}] {spec.description}")
+        print("scenarios:")
+        for scenario in SCENARIOS:
+            tag = " (quick)" if scenario.quick else ""
+            print(f"  {scenario.name:<16}{tag} {scenario.description}")
+        return 0
+
+    for name in args.strategies or []:
+        try:
+            get_strategy(name)
+        except StrategyError as exc:
+            return _usage_error(str(exc))
+    for name in args.scenarios or []:
+        try:
+            get_scenario(name)
+        except UnknownScenarioError as exc:
+            return _usage_error(str(exc))
+    seeds = args.seeds if args.seeds else ([0] if args.quick else [0, 1, 2])
+    base = quick_base_config() if args.quick else full_base_config()
+    scenarios = args.scenarios or list(scenario_names(quick=args.quick))
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+
+    def report_progress(event: SweepProgress) -> None:
+        if args.quiet:
+            return
+        tag = "cache" if event.cached else "ran"
+        print(
+            f"[{event.done:>3}/{event.total}] "
+            f"{event.job.policy.name:<14s} seed={event.job.config.seed} "
+            f"({tag})",
+            file=sys.stderr,
+        )
+
+    started = time.time()
+    try:
+        report = run_tournament(
+            strategies=args.strategies,
+            scenarios=scenarios,
+            seeds=seeds,
+            base_config=base,
+            workers=args.workers,
+            cache=cache,
+            progress=report_progress,
+        )
+    except ParticipationFloorError as exc:
+        print(f"repro: tournament aborted: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    if args.out:
+        path = save_report(
+            report, args.out,
+            ts={"generated_unix": time.time(), "elapsed_s": time.time() - started},
+        )
+        print(f"report -> {path}")
     return 0
 
 
@@ -728,6 +913,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sim": _cmd_sim,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "tournament": _cmd_tournament,
         "trace": _cmd_trace,
         "regret": _cmd_regret,
         "bench": _cmd_bench,

@@ -34,6 +34,15 @@ from repro.experiments.sweep import (
     run_sweep,
     results_identical,
 )
+from repro.experiments.tournament import (
+    SCENARIOS,
+    ScenarioSpec,
+    format_report,
+    load_report,
+    run_tournament,
+    save_report,
+    scenario_names,
+)
 from repro.experiments.validation import validate_trace
 from repro.experiments.stats import (
     Band,
@@ -71,6 +80,13 @@ __all__ = [
     "job_key",
     "run_sweep",
     "results_identical",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "run_tournament",
+    "format_report",
+    "save_report",
+    "load_report",
+    "scenario_names",
     "validate_trace",
     "Band",
     "aggregate_on_rounds",

@@ -48,6 +48,7 @@ __all__ = [
     "load_results",
     "SCHEMA_VERSION",
     "RESULT_SCHEMA_VERSION",
+    "SUPPORTED_RESULT_SCHEMAS",
 ]
 
 SCHEMA_VERSION = 1
@@ -55,7 +56,13 @@ SCHEMA_VERSION = 1
 # written by v1 (no "sim" key) still load with the default SimConfig.
 # v3: configs gained the robustness sections ("attack"/"defense"); older
 # results load with the benign defaults (no attack, plain aggregation).
-RESULT_SCHEMA_VERSION = 3
+# v4: results gained the optional "policy" self-description (the sweep
+# engine's PolicySpec as a dict); older results load with policy=None.
+RESULT_SCHEMA_VERSION = 4
+
+#: Every result schema this reader understands (older versions load with
+#: documented defaults for the fields they predate).
+SUPPORTED_RESULT_SCHEMAS = (1, 2, 3, RESULT_SCHEMA_VERSION)
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -173,19 +180,22 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "config": config_to_dict(result.config),
         "stop_reason": result.stop_reason,
         "final_w": np.asarray(result.final_w, dtype=float).tolist(),
+        "policy": result.policy,
     }
 
 
 def result_from_dict(data: Mapping) -> ExperimentResult:
     """Inverse of :func:`result_to_dict`; validates the schema version."""
     version = data.get("schema")
-    if version not in (1, 2, RESULT_SCHEMA_VERSION):
+    if version not in SUPPORTED_RESULT_SCHEMAS:
         raise ValueError(f"unsupported result schema: {version!r}")
+    policy = data.get("policy")
     return ExperimentResult(
         trace=trace_from_dict(data["trace"]),
         config=config_from_dict(data["config"]),
         stop_reason=str(data["stop_reason"]),
         final_w=np.asarray(data["final_w"], dtype=float),
+        policy=dict(policy) if policy is not None else None,
     )
 
 
@@ -203,7 +213,7 @@ def save_results(results: Mapping[str, ExperimentResult], path: str | Path) -> P
 def load_results(path: str | Path) -> Dict[str, ExperimentResult]:
     """Read a bundle written by :func:`save_results`."""
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema") not in (1, 2, RESULT_SCHEMA_VERSION):
+    if payload.get("schema") not in SUPPORTED_RESULT_SCHEMAS:
         raise ValueError(f"unsupported bundle schema: {payload.get('schema')!r}")
     return {
         name: result_from_dict(data) for name, data in payload["results"].items()

@@ -66,12 +66,20 @@ RELIABILITY_EMA = 0.5
 
 @dataclass
 class ExperimentResult:
-    """Everything a figure/table needs from one run."""
+    """Everything a figure/table needs from one run.
+
+    ``policy`` is an optional JSON-ready description of how the policy
+    was built (the sweep engine's :class:`~repro.experiments.sweep.
+    PolicySpec` as a dict) so persisted results stay self-describing even
+    for parameterized strategies; plain ``run_experiment`` calls leave it
+    ``None``.
+    """
 
     trace: Trace
     config: ExperimentConfig
     stop_reason: str
     final_w: np.ndarray
+    policy: Optional[dict] = None
 
 
 class Simulation:

@@ -10,19 +10,11 @@ exposes all of it, so paper-scale runs are one ``replace`` away.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
-from repro.baselines import (
-    FedAvgPolicy,
-    FedCSPolicy,
-    GreedyOraclePolicy,
-    PowDPolicy,
-    UCBPolicy,
-)
 from repro.baselines.base import SelectionPolicy
-from repro.core.fairness import FairFedLPolicy
 from repro.config import (
     DataConfig,
     ExperimentConfig,
@@ -30,7 +22,7 @@ from repro.config import (
     PopulationConfig,
     TrainingConfig,
 )
-from repro.core.fedl import FedLPolicy
+from repro.strategies import build_strategy
 
 __all__ = [
     "experiment_config",
@@ -106,44 +98,20 @@ def make_policy(
     rng: np.random.Generator,
     iterations: int = 2,
     deadline_s: Optional[float] = None,
+    params: Optional[Mapping[str, Any]] = None,
 ) -> SelectionPolicy:
-    """Instantiate a policy by its paper name.
+    """Instantiate a policy by its registry name.
 
-    Baselines use a fixed iteration count ``iterations`` (they have no
-    iteration control); FedL's ``ρ_t`` is learned and its rounding, step
-    sizes, and solver come from ``config.fedl``.
+    Thin wrapper over :func:`repro.strategies.build_strategy` kept for
+    the historical call sites: baselines use a fixed iteration count
+    ``iterations`` (they have no iteration control); FedL's ``ρ_t`` is
+    learned and its rounding, step sizes, and solver come from
+    ``config.fedl``.  ``params`` overlays the strategy's schema defaults
+    (unknown names raise a typed ``ValueError``).
     """
-    m = config.population.num_clients
-    if name == "FedL":
-        return FedLPolicy(
-            num_clients=m,
-            budget=config.budget,
-            min_participants=config.min_participants,
-            theta=config.training.theta,
-            rng=rng,
-            config=config.fedl,
-            cost_range=config.population.cost_range,
-        )
-    if name == "Fair-FedL":
-        return FairFedLPolicy(
-            num_clients=m,
-            budget=config.budget,
-            min_participants=config.min_participants,
-            theta=config.training.theta,
-            rng=rng,
-            config=config.fedl,
-            cost_range=config.population.cost_range,
-        )
-    if name == "FedAvg":
-        return FedAvgPolicy(rng, iterations=iterations)
-    if name == "FedCS":
-        return FedCSPolicy(rng, deadline_s=deadline_s, iterations=iterations)
-    if name == "Pow-d":
-        return PowDPolicy(rng, d=3 * config.min_participants, iterations=iterations)
-    if name == "UCB":
-        return UCBPolicy(m, rng, iterations=iterations)
-    if name == "Oracle":
-        return GreedyOraclePolicy(rng, iterations=iterations)
-    raise ValueError(f"unknown policy {name!r}")
+    return build_strategy(
+        name, config, rng, params,
+        iterations=iterations, deadline_s=deadline_s,
+    )
 
 

@@ -79,7 +79,9 @@ __all__ = [
 # aggregation, fault profile) and configs gained the "sim" section.
 # v3: PolicySpec gained the robustness overlay fields (attack,
 # attack_fraction, defense) and configs the "attack"/"defense" sections.
-CACHE_SCHEMA_VERSION = 3
+# v4: PolicySpec gained strategy-registry parameter overrides ("params")
+# and results carry a "policy" self-description.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,11 @@ class PolicySpec:
     ``attack`` / ``attack_fraction`` / ``defense`` overlay the config's
     :class:`~repro.config.AttackConfig` / :class:`~repro.config.DefenseConfig`
     for robustness grids (attack kinds × defenses).
+
+    ``params`` holds strategy-registry parameter overrides (see
+    :mod:`repro.strategies`): pass a dict (or pairs) and it is normalized
+    to a sorted tuple of ``(key, value)`` pairs so the spec stays frozen,
+    hashable, and order-insensitive in the cache key.
     """
 
     name: str
@@ -116,10 +123,30 @@ class PolicySpec:
     attack: Optional[str] = None
     attack_fraction: Optional[float] = None
     defense: Optional[str] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        raw = self.params
+        if isinstance(raw, dict):
+            pairs = raw.items()
+        else:
+            pairs = (tuple(p) for p in raw)
+        normalized = tuple(sorted((str(k), v) for k, v in pairs))
+        for key, value in normalized:
+            if value is not None and not isinstance(value, (bool, int, float, str)):
+                raise TypeError(
+                    f"params[{key!r}] must be a JSON scalar, got {type(value).__name__}"
+                )
+        object.__setattr__(self, "params", normalized)
 
     @property
     def stream(self) -> str:
         return self.rng_stream or f"policy.{self.name}"
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """The parameter overrides as a plain dict."""
+        return dict(self.params)
 
     def apply_to(self, config: ExperimentConfig) -> ExperimentConfig:
         """Overlay the runtime fields onto ``config`` (validation re-runs
@@ -330,8 +357,14 @@ def execute_job(job: JobLike) -> ExperimentResult:
         rng,
         iterations=job.policy.iterations,
         deadline_s=job.policy.deadline_s,
+        params=job.policy.params_dict or None,
     )
-    return run_experiment(policy, config, target_accuracy=job.target_accuracy)
+    result = run_experiment(policy, config, target_accuracy=job.target_accuracy)
+    # Self-describing results: the spec rides along through persistence.
+    # The JSON round trip normalizes tuples to lists up front, so cached
+    # copies compare exactly equal to fresh ones.
+    spec_dict = json.loads(json.dumps(dataclasses.asdict(job.policy)))
+    return dataclasses.replace(result, policy=spec_dict)
 
 
 # -- telemetry plumbing --------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Declarative selection-strategy zoo.
+
+Importing this package registers every built-in strategy; use
+:func:`build_strategy` to construct one from a name (or a
+``{"name": ..., "params": {...}}`` dict), and :data:`STRATEGY_REGISTRY`
+/ :func:`strategy_names` to enumerate the zoo.
+"""
+
+from .registry import (
+    STRATEGY_REGISTRY,
+    ParamSpec,
+    StrategyError,
+    StrategyParamError,
+    StrategySpec,
+    UnknownStrategyError,
+    build_strategy,
+    get_strategy,
+    register_strategy,
+    resolve_params,
+    strategy_names,
+)
+from . import builtin as _builtin  # noqa: F401  (registers the zoo)
+from .builtin import WRAPPABLE
+from .budgeted import GreedyUtilityPolicy, KnapsackDPPolicy
+from .deadline import HardDeadlinePolicy, SoftDeadlinePolicy
+from .scored import DivergencePolicy, GradNormPolicy, LossPropPolicy
+
+__all__ = [
+    "STRATEGY_REGISTRY",
+    "ParamSpec",
+    "StrategyError",
+    "StrategyParamError",
+    "StrategySpec",
+    "UnknownStrategyError",
+    "build_strategy",
+    "get_strategy",
+    "register_strategy",
+    "resolve_params",
+    "strategy_names",
+    "WRAPPABLE",
+    "GradNormPolicy",
+    "LossPropPolicy",
+    "DivergencePolicy",
+    "GreedyUtilityPolicy",
+    "KnapsackDPPolicy",
+    "HardDeadlinePolicy",
+    "SoftDeadlinePolicy",
+]

@@ -1,0 +1,353 @@
+"""Registration of every built-in selection strategy.
+
+Importing this module populates :data:`~repro.strategies.registry.
+STRATEGY_REGISTRY` with the full zoo: the paper's FedL and its
+comparison baselines, plus the scored / budgeted / deadline families.
+Registration order defines listing and report order.
+
+The builders reproduce the historical ``make_policy`` constructor calls
+exactly when left at their defaults, so fig6/fig7 baseline traces stay
+bit-identical to pre-registry runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.baselines import (
+    FedAvgPolicy,
+    FedCSPolicy,
+    GreedyOraclePolicy,
+    OverSelectPolicy,
+    PowDPolicy,
+    UCBPolicy,
+)
+from repro.baselines.base import SelectionPolicy
+from repro.config import ExperimentConfig
+from repro.core.fairness import FairFedLPolicy
+from repro.core.fedl import FedLPolicy
+
+from .budgeted import GreedyUtilityPolicy, KnapsackDPPolicy
+from .deadline import HardDeadlinePolicy, SoftDeadlinePolicy
+from .registry import (
+    ParamSpec,
+    StrategyParamError,
+    StrategySpec,
+    register_strategy,
+)
+from .scored import DivergencePolicy, GradNormPolicy, LossPropPolicy
+
+__all__ = ["WRAPPABLE"]
+
+#: Strategies a wrapper (OverSelect, deadline filters) may compose with.
+#: Wrapping another wrapper is rejected to keep composition one level deep.
+WRAPPABLE = (
+    "FedL",
+    "FedAvg",
+    "FedCS",
+    "Pow-d",
+    "Fair-FedL",
+    "UCB",
+    "GradNorm",
+    "LossProp",
+    "Divergence",
+    "GreedyUtility",
+    "KnapsackDP",
+)
+
+_ITERATIONS = ParamSpec(
+    "iterations", default=2, kind=int, minimum=1,
+    doc="fixed global iterations per epoch",
+)
+_BASE = ParamSpec(
+    "base", default="FedAvg", kind=str, choices=WRAPPABLE,
+    doc="registered strategy the wrapper delegates selection to",
+)
+
+
+def _build_base(
+    name: str, config: ExperimentConfig, rng: np.random.Generator,
+    iterations: int,
+) -> SelectionPolicy:
+    from .registry import build_strategy
+
+    return build_strategy(name, config, rng, iterations=iterations)
+
+
+def _fedl(config: ExperimentConfig, rng, p: Dict[str, Any]) -> FedLPolicy:
+    return FedLPolicy(
+        num_clients=config.population.num_clients,
+        budget=config.budget,
+        min_participants=config.min_participants,
+        theta=config.training.theta,
+        rng=rng,
+        config=config.fedl,
+        cost_range=config.population.cost_range,
+    )
+
+
+def _fair_fedl(config, rng, p) -> FairFedLPolicy:
+    return FairFedLPolicy(
+        num_clients=config.population.num_clients,
+        budget=config.budget,
+        min_participants=config.min_participants,
+        theta=config.training.theta,
+        rng=rng,
+        config=config.fedl,
+        cost_range=config.population.cost_range,
+        fair_rate=p["fair_rate"],
+        fairness_weight=p["fairness_weight"],
+    )
+
+
+register_strategy(StrategySpec(
+    name="FedL",
+    description="the paper's online learner: dual-ascent budgeted selection"
+                " with learned iteration control",
+    builder=_fedl,
+    # Budget-constrained at horizon level (dual ascent), but the strict
+    # per-epoch affordability contract does not survive randomized
+    # rounding, so ``budget_aware`` is not declared.
+    reliability_aware=True,
+    randomized=True,  # dependent rounding consumes RNG draws
+    paper_baseline=True,
+))
+
+register_strategy(StrategySpec(
+    name="FedAvg",
+    description="uniform random sampling of n available clients",
+    builder=lambda config, rng, p: FedAvgPolicy(
+        rng, iterations=p["iterations"], sample_size=p["sample_size"]
+    ),
+    params=(
+        _ITERATIONS,
+        ParamSpec("sample_size", kind=int, minimum=1, optional=True,
+                  doc="clients to draw per epoch (default: exactly n)"),
+    ),
+    randomized=True,
+    paper_baseline=True,
+))
+
+register_strategy(StrategySpec(
+    name="FedCS",
+    description="deadline-greedy admission of the fastest clients",
+    builder=lambda config, rng, p: FedCSPolicy(
+        rng, deadline_s=p["deadline_s"], iterations=p["iterations"],
+        adaptive_quantile=p["adaptive_quantile"],
+    ),
+    params=(
+        ParamSpec("deadline_s", kind=float, optional=True,
+                  doc="round deadline in seconds (None: adaptive quantile)"),
+        _ITERATIONS,
+        ParamSpec("adaptive_quantile", default=0.6, kind=float,
+                  minimum=0.01, maximum=1.0,
+                  doc="latency quantile for the adaptive deadline"),
+    ),
+    deadline_aware=True,
+    paper_baseline=True,
+))
+
+register_strategy(StrategySpec(
+    name="Pow-d",
+    description="power-of-d-choices: sample d candidates, keep the n with"
+                " the highest observed loss",
+    builder=lambda config, rng, p: PowDPolicy(
+        rng, d=p["d"], iterations=p["iterations"]
+    ),
+    params=(
+        ParamSpec("d", kind=int, minimum=1,
+                  derive=lambda config: 3 * config.min_participants,
+                  doc="candidate pool size (default 3n)"),
+        _ITERATIONS,
+    ),
+    randomized=True,
+    paper_baseline=True,
+))
+
+register_strategy(StrategySpec(
+    name="Fair-FedL",
+    description="FedL plus a virtual-queue participation-fairness bias",
+    builder=_fair_fedl,
+    params=(
+        ParamSpec("fair_rate", default=0.1, kind=float,
+                  minimum=0.0, maximum=0.999,
+                  doc="target long-term participation rate per client"),
+        ParamSpec("fairness_weight", default=0.5, kind=float, minimum=0.0,
+                  doc="virtual-queue bias strength (0 = plain FedL)"),
+    ),
+    reliability_aware=True,
+    randomized=True,
+))
+
+register_strategy(StrategySpec(
+    name="UCB",
+    description="combinatorial UCB over per-client latency rewards",
+    builder=lambda config, rng, p: UCBPolicy(
+        config.population.num_clients, rng,
+        exploration=p["exploration"], iterations=p["iterations"],
+    ),
+    params=(
+        ParamSpec("exploration", default=0.5, kind=float, minimum=0.0,
+                  doc="width of the confidence bonus"),
+        _ITERATIONS,
+    ),
+    randomized=True,  # epsilon jitter breaks score ties
+))
+
+register_strategy(StrategySpec(
+    name="Oracle",
+    description="1-lookahead greedy: best subset under the true latencies"
+                " of the coming epoch",
+    builder=lambda config, rng, p: GreedyOraclePolicy(
+        rng, iterations=p["iterations"]
+    ),
+    params=(_ITERATIONS,),
+    budget_aware=True,
+    needs_oracle=True,
+))
+
+register_strategy(StrategySpec(
+    name="OverSelect",
+    description="over-selection straggler mitigation around a base scorer:"
+                " rent extra clients, keep the base quorum's fastest",
+    builder=lambda config, rng, p: OverSelectPolicy(
+        _build_base(p["base"], config, rng, p["iterations"]),
+        extra=p["extra"],
+    ),
+    params=(
+        _BASE,
+        ParamSpec("extra", default=2, kind=int, minimum=1,
+                  doc="additional clients rented beyond the base quorum"),
+        _ITERATIONS,
+    ),
+    randomized=True,  # base default (FedAvg) samples randomly
+))
+
+register_strategy(StrategySpec(
+    name="GradNorm",
+    description="gradient-norm sampling: EWMA of local-loss change"
+                " magnitude, top-n",
+    builder=lambda config, rng, p: GradNormPolicy(
+        config.population.num_clients, iterations=p["iterations"],
+        ema=p["ema"],
+    ),
+    params=(
+        _ITERATIONS,
+        ParamSpec("ema", default=0.5, kind=float, minimum=0.01, maximum=1.0,
+                  doc="EWMA weight on the newest observation"),
+    ),
+))
+
+register_strategy(StrategySpec(
+    name="LossProp",
+    description="loss-proportional sampling without replacement",
+    builder=lambda config, rng, p: LossPropPolicy(
+        rng, iterations=p["iterations"], power=p["power"]
+    ),
+    params=(
+        _ITERATIONS,
+        ParamSpec("power", default=1.0, kind=float, minimum=0.01,
+                  doc="exponent sharpening the sampling distribution"),
+    ),
+    randomized=True,
+))
+
+register_strategy(StrategySpec(
+    name="Divergence",
+    description="model-divergence scoring: EWMA of |local - population|"
+                " loss gap, top-n",
+    builder=lambda config, rng, p: DivergencePolicy(
+        config.population.num_clients, iterations=p["iterations"],
+        ema=p["ema"],
+    ),
+    params=(
+        _ITERATIONS,
+        ParamSpec("ema", default=0.5, kind=float, minimum=0.01, maximum=1.0,
+                  doc="EWMA weight on the newest observation"),
+    ),
+))
+
+register_strategy(StrategySpec(
+    name="GreedyUtility",
+    description="greedy loss-per-cost selection under a per-epoch"
+                " budget cap",
+    builder=lambda config, rng, p: GreedyUtilityPolicy(
+        iterations=p["iterations"], budget_frac=p["budget_frac"],
+        max_extra=p["max_extra"],
+    ),
+    params=(
+        _ITERATIONS,
+        ParamSpec("budget_frac", default=0.05, kind=float,
+                  minimum=0.001, maximum=1.0,
+                  doc="fraction of remaining budget spendable per epoch"),
+        ParamSpec("max_extra", default=2, kind=int, minimum=0,
+                  doc="clients admittable beyond the quorum n"),
+    ),
+    budget_aware=True,
+))
+
+register_strategy(StrategySpec(
+    name="KnapsackDP",
+    description="exact 0/1 knapsack over discretized rental costs,"
+                " maximizing summed utility under a per-epoch cap",
+    builder=lambda config, rng, p: KnapsackDPPolicy(
+        iterations=p["iterations"], budget_frac=p["budget_frac"],
+        resolution=p["resolution"],
+    ),
+    params=(
+        _ITERATIONS,
+        ParamSpec("budget_frac", default=0.05, kind=float,
+                  minimum=0.001, maximum=1.0,
+                  doc="fraction of remaining budget spendable per epoch"),
+        ParamSpec("resolution", default=64, kind=int, minimum=2,
+                  doc="cost-discretization buckets for the DP table"),
+    ),
+    budget_aware=True,
+))
+
+register_strategy(StrategySpec(
+    name="HardDeadline",
+    description="hard deadline filter: mask out projected stragglers,"
+                " delegate to a base scorer",
+    builder=lambda config, rng, p: HardDeadlinePolicy(
+        _build_base(p["base"], config, rng, p["iterations"]),
+        deadline_s=p["deadline_s"], quantile=p["quantile"],
+    ),
+    params=(
+        _BASE,
+        ParamSpec("deadline_s", kind=float, optional=True,
+                  doc="epoch deadline in seconds (None: adaptive quantile)"),
+        ParamSpec("quantile", default=0.6, kind=float,
+                  minimum=0.01, maximum=1.0,
+                  doc="latency quantile for the adaptive deadline"),
+        _ITERATIONS,
+    ),
+    deadline_aware=True,
+    randomized=True,  # base default (FedAvg) samples randomly
+))
+
+register_strategy(StrategySpec(
+    name="SoftDeadline",
+    description="soft deadline filter: inflate apparent costs by projected"
+                " overshoot, delegate to a base scorer",
+    builder=lambda config, rng, p: SoftDeadlinePolicy(
+        _build_base(p["base"], config, rng, p["iterations"]),
+        deadline_s=p["deadline_s"], quantile=p["quantile"],
+        penalty=p["penalty"],
+    ),
+    params=(
+        _BASE,
+        ParamSpec("deadline_s", kind=float, optional=True,
+                  doc="epoch deadline in seconds (None: adaptive quantile)"),
+        ParamSpec("quantile", default=0.6, kind=float,
+                  minimum=0.01, maximum=1.0,
+                  doc="latency quantile for the adaptive deadline"),
+        ParamSpec("penalty", default=1.0, kind=float, minimum=0.0,
+                  doc="cost-inflation strength per unit overshoot"),
+        _ITERATIONS,
+    ),
+    deadline_aware=True,
+    randomized=True,  # base default (FedAvg) samples randomly
+))

@@ -1,0 +1,129 @@
+"""Deadline filters composable with any base scorer.
+
+Two wrappers that add FedCS-style deadline awareness to an arbitrary
+registered strategy:
+
+* :class:`HardDeadlinePolicy` — masks out clients whose projected epoch
+  time ``l · τ_last`` misses the deadline, then delegates selection to
+  the wrapped base policy over the survivors.  When fewer than ``n``
+  clients survive, the filter relaxes to the ``n`` fastest so the
+  participation floor holds.
+* :class:`SoftDeadlinePolicy` — no hard cut; instead inflates each
+  client's apparent rental cost by a penalty proportional to its
+  projected deadline overshoot, so cost-sensitive base scorers shy away
+  from stragglers without losing them entirely.
+
+Both forward ``update`` to the base policy, so learning strategies keep
+learning through the filter.  With ``deadline_s=None`` the deadline is
+adaptive: a quantile of the available clients' projected epoch times,
+re-estimated every epoch (the FedCS admission idiom).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    Decision,
+    EpochContext,
+    RoundFeedback,
+    SelectionPolicy,
+    enforce_feasibility,
+)
+
+__all__ = ["HardDeadlinePolicy", "SoftDeadlinePolicy"]
+
+
+def _projected(ctx: EpochContext, iterations: int) -> np.ndarray:
+    """Projected epoch time per client from last realized latencies."""
+    return iterations * ctx.tau_last
+
+
+class _DeadlineFilter:
+    """Shared wrapper plumbing: naming, adaptive deadline, update relay."""
+
+    _label = "deadline"
+
+    def __init__(
+        self,
+        base: SelectionPolicy,
+        deadline_s: Optional[float] = None,
+        quantile: float = 0.6,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+        if not (0.0 < quantile <= 1.0):
+            raise ValueError("quantile must be in (0, 1]")
+        self.base = base
+        self.deadline_s = deadline_s
+        self.quantile = quantile
+        self.name = f"{self._label}({base.name})"
+        self.iterations = getattr(base, "iterations", 2)
+
+    def _deadline(self, ctx: EpochContext, projected: np.ndarray) -> float:
+        if self.deadline_s is not None:
+            return self.deadline_s
+        pool = projected[ctx.available]
+        finite = pool[np.isfinite(pool)]
+        if finite.size == 0:
+            return float("inf")
+        return float(np.quantile(finite, self.quantile))
+
+    def update(self, feedback: RoundFeedback) -> None:
+        self.base.update(feedback)
+
+
+class HardDeadlinePolicy(_DeadlineFilter):
+    """Admit only clients projected to meet the deadline, then delegate."""
+
+    _label = "HardDeadline"
+
+    def select(self, ctx: EpochContext) -> Decision:
+        projected = _projected(ctx, self.iterations)
+        deadline = self._deadline(ctx, projected)
+        fast = ctx.available & (projected <= deadline)
+        n = min(ctx.min_participants, int(ctx.available.sum()))
+        if fast.sum() < n:
+            # Relax to the n fastest so the participation floor holds.
+            avail = np.flatnonzero(ctx.available)
+            order = avail[np.argsort(projected[avail], kind="stable")]
+            fast = fast.copy()
+            fast[order[:n]] = True
+        decision = self.base.select(dataclasses.replace(ctx, available=fast))
+        mask = enforce_feasibility(decision.selected, ctx, None)
+        return dataclasses.replace(decision, selected=mask)
+
+
+class SoftDeadlinePolicy(_DeadlineFilter):
+    """Penalize projected deadline overshoot via inflated apparent costs."""
+
+    _label = "SoftDeadline"
+
+    def __init__(
+        self,
+        base: SelectionPolicy,
+        deadline_s: Optional[float] = None,
+        quantile: float = 0.6,
+        penalty: float = 1.0,
+    ) -> None:
+        super().__init__(base, deadline_s=deadline_s, quantile=quantile)
+        if penalty < 0:
+            raise ValueError("penalty must be >= 0")
+        self.penalty = penalty
+
+    def select(self, ctx: EpochContext) -> Decision:
+        projected = _projected(ctx, self.iterations)
+        deadline = self._deadline(ctx, projected)
+        if np.isfinite(deadline) and deadline > 0:
+            overshoot = np.maximum(projected - deadline, 0.0) / deadline
+            overshoot = np.where(np.isfinite(overshoot), overshoot, 0.0)
+            shaped = ctx.costs * (1.0 + self.penalty * overshoot)
+        else:
+            shaped = ctx.costs
+        decision = self.base.select(dataclasses.replace(ctx, costs=shaped))
+        # Repair against the *real* prices, not the shaped ones.
+        mask = enforce_feasibility(decision.selected, ctx, None)
+        return dataclasses.replace(decision, selected=mask)

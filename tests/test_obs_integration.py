@@ -133,9 +133,10 @@ class TestNoOpGuarantees:
         # Enabled-vs-disabled results are bit-identical: instrumentation
         # reads no RNG and writes nothing into the result.
         assert results_identical(baseline, traced)
-        # Pre-PR result surface: exactly the four seed fields, no extras.
+        # Known result surface: the four seed fields plus the sweep
+        # layer's "policy" self-description — telemetry adds nothing.
         assert {f.name for f in dataclasses.fields(ExperimentResult)} == {
-            "trace", "config", "stop_reason", "final_w",
+            "trace", "config", "stop_reason", "final_w", "policy",
         }
         assert {f.name for f in dataclasses.fields(type(cfg))} == {
             f.name for f in dataclasses.fields(tiny_config())

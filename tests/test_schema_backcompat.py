@@ -1,0 +1,137 @@
+"""Back-compat: committed v1/v2/v3 result payloads load through the v4 reader.
+
+The fixtures under ``tests/fixtures/`` are real (tiny) experiment
+results serialized by the schema version named in the file, captured at
+the moment each schema was superseded:
+
+* ``results_v1.json`` — before the ``sim`` config section existed;
+* ``results_v2.json`` — before the ``attack``/``defense`` sections;
+* ``results_v3.json`` — before the sweep layer's ``policy``
+  self-description rode along on the result.
+
+(Only the first 8 weight entries are kept — the reader never validates
+the weight vector's shape, and full fmnist weights would bloat the
+fixtures 100×.)
+
+Every old payload must keep loading, with documented defaults for the
+fields it predates, for as long as its version stays in
+``SUPPORTED_RESULT_SCHEMAS``.  Tournament reports get the same
+torn-write guarantee as every other persisted artifact: a failed save
+never clobbers the previous report and never litters temp files.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import AttackConfig, DefenseConfig, SimConfig
+from repro.experiments.persistence import (
+    RESULT_SCHEMA_VERSION,
+    SUPPORTED_RESULT_SCHEMAS,
+    load_results,
+    result_from_dict,
+    save_results,
+)
+from repro.experiments.tournament import (
+    TOURNAMENT_SCHEMA_VERSION,
+    load_report,
+    save_report,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+OLD_VERSIONS = (1, 2, 3)
+
+
+def fixture_path(version):
+    return FIXTURES / f"results_v{version}.json"
+
+
+class TestOldResultSchemasLoad:
+    @pytest.mark.parametrize("version", OLD_VERSIONS)
+    def test_committed_fixture_loads(self, version):
+        assert version in SUPPORTED_RESULT_SCHEMAS
+        results = load_results(fixture_path(version))
+        result = results["FedAvg"]
+        assert result.trace.policy_name == "FedAvg"
+        assert len(result.trace) == 2
+        assert result.stop_reason
+        # The "policy" self-description is a v4 addition.
+        assert result.policy is None
+
+    @pytest.mark.parametrize("version", OLD_VERSIONS)
+    def test_inner_payload_loads_directly(self, version):
+        payload = json.loads(fixture_path(version).read_text())
+        result = result_from_dict(payload["results"]["FedAvg"])
+        assert result.config.seed == 0
+
+    def test_v1_gets_default_sim_section(self):
+        cfg = load_results(fixture_path(1))["FedAvg"].config
+        assert cfg.sim == SimConfig()
+
+    def test_v2_gets_default_attack_and_defense(self):
+        cfg = load_results(fixture_path(2))["FedAvg"].config
+        assert cfg.attack == AttackConfig()
+        assert cfg.defense == DefenseConfig()
+
+    @pytest.mark.parametrize("version", OLD_VERSIONS)
+    def test_resave_upgrades_to_current_schema(self, version, tmp_path):
+        results = load_results(fixture_path(version))
+        out = tmp_path / "upgraded.json"
+        save_results(results, out)
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == RESULT_SCHEMA_VERSION
+        reloaded = load_results(out)
+        assert reloaded["FedAvg"].trace.equals(results["FedAvg"].trace)
+
+    @pytest.mark.parametrize("version", (0, RESULT_SCHEMA_VERSION + 1))
+    def test_unknown_schema_rejected(self, version):
+        payload = json.loads(fixture_path(3).read_text())
+        inner = payload["results"]["FedAvg"]
+        inner["schema"] = version
+        with pytest.raises(ValueError, match="unsupported result schema"):
+            result_from_dict(inner)
+
+
+class TestTournamentReportPersistence:
+    def report(self, marker="old"):
+        return {
+            "schema": TOURNAMENT_SCHEMA_VERSION,
+            "marker": marker,
+            "rankings": {"iid": [["FedL", 0.9]]},
+        }
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(self.report(), path, ts={"generated_unix": 1.0})
+        loaded = load_report(path)
+        assert loaded["marker"] == "old"
+        assert loaded["ts"] == {"generated_unix": 1.0}
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report({"schema": TOURNAMENT_SCHEMA_VERSION + 1}, path)
+        with pytest.raises(ValueError, match="unsupported tournament schema"):
+            load_report(path)
+
+    def test_failed_save_preserves_old_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(self.report("old"), path)
+        before = path.read_bytes()
+
+        class Exploding:
+            """Unserializable: json.dumps raises midway."""
+
+        bad = self.report("new")
+        bad["rankings"] = Exploding()
+        with pytest.raises(TypeError):
+            save_report(bad, path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_successful_save_leaves_no_temp_litter(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(self.report(), path)
+        save_report(self.report("updated"), path)
+        assert load_report(path)["marker"] == "updated"
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]
