@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro run      --policy FedL --dataset fmnist --budget 600 \
                              [--param KEY=VALUE ...] [--telemetry out/trace]
@@ -13,11 +13,16 @@ Eight subcommands::
                              --cache-dir ~/.cache/repro/sweeps
     python -m repro tournament [--quick] [--list] [--strategies A B] \
                              [--scenarios X Y] [--seeds 0 1 2] \
-                             [--out REPORT.json] [--cache-dir DIR]
-    python -m repro trace    out/trace [--run PREFIX]
+                             [--out REPORT.json] [--cache-dir DIR] \
+                             [--telemetry out/trace]
+    python -m repro trace    out/trace [--run PREFIX] \
+                             [--follow [--poll 0.5] [--timeout 60]]
+    python -m repro profile  out/trace [--diff other/trace] [--top 10]
     python -m repro regret   --horizons 25 50 100
     python -m repro bench    [--quick] [--out BENCH.json] \
-                             [--check BENCH_PR3.json --tolerance 0.2]
+                             [--check BENCH_PR3.json --tolerance 0.2] \
+                             [--overhead [--max-null-overhead 0.02]] \
+                             [--compare A.json B.json]
 
 ``tournament`` runs every registered selection strategy (the zoo in
 :mod:`repro.strategies`) across a scenario matrix (partition skew, price
@@ -52,7 +57,19 @@ stderr (``--quiet`` silences it); ``--cache-dir`` makes re-runs serve
 finished jobs from disk.  ``--telemetry DIR`` records a structured JSONL
 event trace plus a ``manifest.json`` (see :mod:`repro.obs`) that
 ``repro trace DIR`` renders as timing tables and controller
-trajectories.
+trajectories; finalize also exports ``metrics.json`` and a
+Prometheus-style ``metrics.prom``.
+
+``trace --follow`` tails a live trace directory while the run is in
+flight, printing one status line per completed epoch (accuracy, regret,
+fit, budget headroom, quarantine count, latency, accuracy sparkline) and
+exiting 0 once the run finalizes.  ``profile`` reconstructs the temporal
+phase tree from a finished trace's manifest — self vs. cumulative time,
+call counts, per-epoch cost — and ``--diff`` compares two trace
+directories phase by phase.  ``bench --overhead`` audits what the
+telemetry layer itself costs (disabled vs. enabled hubs per layer, with
+per-hook-site attribution); ``bench --compare A.json B.json`` prints a
+per-layer delta table between two saved bench reports.
 
 Exit codes: 0 on success, 2 on argument errors (both argparse failures
 and semantic validation like non-positive budgets), 1 on runtime errors.
@@ -264,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reuse/store per-cell results in this directory")
     p_trn.add_argument("--out", type=str, default=None, metavar="REPORT.json",
                        help="also persist the report as versioned JSON")
+    p_trn.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="record per-job/worker JSONL event traces + a "
+                       "merged manifest and metrics export into DIR")
     p_trn.add_argument("--quiet", "--no-progress", dest="quiet",
                        action="store_true",
                        help="suppress the per-job progress lines on stderr")
@@ -279,6 +299,29 @@ def build_parser() -> argparse.ArgumentParser:
                        "this prefix")
     p_trc.add_argument("--no-chart", action="store_true",
                        help="skip the ASCII chart (sparklines only)")
+    p_trc.add_argument("--follow", action="store_true",
+                       help="tail the trace live: stream one line per "
+                       "completed epoch until the run finalizes")
+    p_trc.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                       help="polling interval for --follow (default 0.5)")
+    p_trc.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="give up following after this much wall time "
+                       "(default: wait until the run finalizes)")
+
+    p_prf = sub.add_parser(
+        "profile",
+        help="hierarchical phase profile of a finished trace directory "
+        "(self vs cumulative time, per-epoch cost, hot-phase ranking)",
+    )
+    p_prf.add_argument("directory", type=str, metavar="DIR")
+    p_prf.add_argument("--diff", type=str, default=None, metavar="DIR2",
+                       help="also diff against a second trace directory "
+                       "(per-phase delta table, regression highlighting)")
+    p_prf.add_argument("--top", type=int, default=10, metavar="N",
+                       help="hot phases to rank by self time (default 10)")
+    p_prf.add_argument("--json", type=str, default=None, metavar="PATH.json",
+                       dest="json_out",
+                       help="also write the profile document as JSON")
 
     p_reg = sub.add_parser("regret", help="dynamic regret/fit growth check")
     p_reg.add_argument("--horizons", type=int, nargs="+", default=[25, 50, 100])
@@ -314,6 +357,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall seconds of the pre-PR loop reference at "
                        "the same FL config (measured from a worktree of "
                        "the parent commit); recorded in the report")
+    p_bch.add_argument("--overhead", action="store_true",
+                       help="run the telemetry overhead audit instead of "
+                       "the throughput bench: disabled vs enabled hubs "
+                       "per layer with hook-site attribution")
+    p_bch.add_argument("--max-null-overhead", type=float, default=0.02,
+                       metavar="FRAC",
+                       help="with --overhead, fail (exit 1) when the "
+                       "estimated disabled-telemetry cost of any layer "
+                       "exceeds this fraction of its runtime "
+                       "(default 0.02 = 2%%)")
+    p_bch.add_argument("--compare", nargs=2, default=None,
+                       metavar=("A.json", "B.json"),
+                       help="print a per-layer delta table between two "
+                       "saved bench reports, then exit")
     return parser
 
 
@@ -784,6 +841,11 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    hub = (
+        Telemetry.for_directory(args.telemetry, run_id="tournament")
+        if args.telemetry
+        else None
+    )
     started = time.time()
     try:
         report = run_tournament(
@@ -794,10 +856,21 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
             progress=report_progress,
+            telemetry=hub,
         )
     except ParticipationFloorError as exc:
         print(f"repro: tournament aborted: {exc}", file=sys.stderr)
         return 1
+    if hub is not None:
+        hub.finalize(
+            meta={
+                "command": "tournament",
+                "strategies": list(args.strategies or []),
+                "scenarios": list(scenarios),
+                "seeds": [int(s) for s in seeds],
+            }
+        )
+        print(f"telemetry -> {args.telemetry}", file=sys.stderr)
     print(format_report(report))
     if args.out:
         path = save_report(
@@ -810,11 +883,66 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     directory = Path(args.directory).expanduser()
+    if args.follow:
+        # Follow mode tails a run that may still be starting up: the
+        # directory (or its first events file) may not exist yet, so the
+        # static validations below do not apply — --timeout bounds the
+        # wait instead.
+        if args.poll <= 0:
+            return _usage_error("--poll must be positive")
+        if args.timeout is not None and args.timeout < 0:
+            return _usage_error("--timeout must be >= 0")
+        from repro.obs import follow_trace
+
+        return follow_trace(
+            directory, run=args.run, poll_s=args.poll, timeout_s=args.timeout
+        )
     if not directory.is_dir():
         return _usage_error(f"not a telemetry directory: {directory}")
     if not any(directory.glob("events*.jsonl")):
         return _usage_error(f"no events*.jsonl files under {directory}")
     print(render_trace(directory, run=args.run, chart=not args.no_chart))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import profile_directory, render_diff, render_profile
+
+    if args.top < 1:
+        return _usage_error("--top must be >= 1")
+    directory = Path(args.directory).expanduser()
+    if not directory.is_dir():
+        return _usage_error(f"not a telemetry directory: {directory}")
+    profile = profile_directory(directory)
+    if profile is None:
+        return _usage_error(
+            f"no manifest.json under {directory} (profile needs a "
+            "finalized trace; is the run still in flight?)"
+        )
+    print(render_profile(profile, top=args.top, label=str(directory)), end="")
+    if args.diff:
+        other_dir = Path(args.diff).expanduser()
+        if not other_dir.is_dir():
+            return _usage_error(f"not a telemetry directory: {other_dir}")
+        other = profile_directory(other_dir)
+        if other is None:
+            return _usage_error(f"no manifest.json under {other_dir}")
+        print()
+        print(
+            render_diff(
+                profile, other, label_a=str(directory), label_b=str(other_dir)
+            ),
+            end="",
+        )
+    if args.json_out:
+        path = Path(args.json_out).expanduser()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(profile, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(path)
+        print(f"profile -> {path}", file=sys.stderr)
     return 0
 
 
@@ -863,12 +991,56 @@ def _cmd_regret(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
+        bench_overhead,
+        check_overhead,
         check_regression,
+        compare_reports,
+        format_compare,
+        format_overhead,
         format_report,
         load_report,
         run_bench,
         save_report,
     )
+
+    if args.compare is not None:
+        path_a, path_b = args.compare
+        try:
+            report_a = load_report(path_a)
+            report_b = load_report(path_b)
+        except (OSError, ValueError) as exc:
+            return _usage_error(f"cannot read report: {exc}")
+        rows = compare_reports(report_a, report_b)
+        print(format_compare(rows, label_a=path_a, label_b=path_b))
+        return 0
+
+    if args.overhead:
+        if not (0.0 < args.max_null_overhead < 1.0):
+            return _usage_error("--max-null-overhead must be in (0, 1)")
+        report = bench_overhead(quick=args.quick, seed=args.seed)
+        print(format_overhead(report))
+        if args.out:
+            path = Path(args.out).expanduser()
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            tmp.replace(path)
+            print(f"\nreport -> {path}")
+        failures = check_overhead(
+            report, max_null_fraction=args.max_null_overhead
+        )
+        if failures:
+            print("\nOVERHEAD GATE FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"\noverhead gate: OK (disabled-telemetry cost <= "
+            f"{args.max_null_overhead:.1%} per layer)"
+        )
+        return 0
 
     if args.clients is not None and args.clients < 2:
         return _usage_error("--clients must be >= 2")
@@ -915,6 +1087,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "tournament": _cmd_tournament,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "regret": _cmd_regret,
         "bench": _cmd_bench,
     }

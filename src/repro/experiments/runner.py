@@ -350,6 +350,9 @@ def run_experiment(
     # when a defense aggregator is active, so the default path is unchanged.
     reliability = np.ones(m)
     track_reliability = sim.defense_spec is not None
+    # Hoisted once: the adversary (or its absence) is fixed for the whole
+    # run, so the benign path never re-tests it inside per-client loops.
+    adversary = sim.adversary
 
     for t in range(config.max_epochs):
         if tel.enabled:
@@ -361,13 +364,18 @@ def run_experiment(
         # Install this epoch's local data on available clients.  A
         # label-flipping adversary poisons its local dataset here; every
         # other attack corrupts the upload inside the round instead.
-        for k in np.flatnonzero(available):
-            data = sim.streams[k].draw(int(counts[k]))
-            if sim.adversary is not None:
-                data = sim.adversary.poison_data(
-                    int(k), data, t, config.data.num_classes
+        if adversary is None:
+            for k in np.flatnonzero(available):
+                sim.clients[k].set_data(sim.streams[k].draw(int(counts[k])))
+        else:
+            for k in np.flatnonzero(available):
+                data = adversary.poison_data(
+                    int(k),
+                    sim.streams[k].draw(int(counts[k])),
+                    t,
+                    config.data.num_classes,
                 )
-            sim.clients[k].set_data(data)
+                sim.clients[k].set_data(data)
 
         if tel.enabled:
             tel.emit(
@@ -480,6 +488,9 @@ def run_experiment(
                 # Only guard the runtime's own drops: the pre-existing
                 # failure injection may already run below the global floor.
                 min_participants=min(config.min_participants, int(ids.size)),
+                # The per-message timeline only feeds sim.* telemetry and
+                # gantt views — skip the allocations when nobody listens.
+                record_timeline=tel.enabled,
             )
             if profile.stochastic:
                 sim_rng = sim.rng.get("sim.runtime")

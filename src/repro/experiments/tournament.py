@@ -290,12 +290,15 @@ def run_tournament(
     workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
     progress: Optional[ProgressFn] = None,
+    telemetry=None,
 ) -> dict:
     """Run the tournament and return the report dict.
 
     Defaults: every registered strategy, the quick scenario matrix, one
     seed, the quick base config.  Strategy and scenario names are
-    validated up front with typed errors.
+    validated up front with typed errors.  ``telemetry`` is forwarded to
+    the sweep engine so tournament cells record per-job/worker traces
+    into the same hub the caller finalizes.
     """
     names = list(strategies) if strategies else list(strategy_names())
     for name in names:
@@ -317,7 +320,10 @@ def run_tournament(
                 cfg = scenario.configure(base.replace(seed=seed))
                 jobs.append(SweepJob(PolicySpec(name), cfg))
                 index.append((scenario.name, name, seed))
-    results = run_sweep(jobs, workers=workers, cache=cache, progress=progress)
+    results = run_sweep(
+        jobs, workers=workers, cache=cache, progress=progress,
+        telemetry=telemetry,
+    )
 
     by_cell: Dict[str, Dict[str, List[ExperimentResult]]] = {}
     for (scenario_name, strat, _seed), result in zip(index, results):

@@ -178,16 +178,21 @@ def screen_updates(
         raise ValueError("one client id per update required")
     if sample_counts is not None and len(sample_counts) != len(updates):
         raise ValueError("one sample count per update required")
-    finite = [bool(np.isfinite(d).all()) for d in updates]
     if defense is None:
-        for ok, cid in zip(finite, client_ids):
-            if not ok:
-                raise CorruptUpdateError(cid, epoch, iteration)
+        # Benign fast path: a single fused reduction per update.  Any
+        # NaN/Inf poisons the sum, so a finite sum certifies the whole
+        # vector without materializing an elementwise boolean temp.  A
+        # non-finite sum can also mean finite values overflowed, so only
+        # the exact elementwise scan decides whether to raise.
+        for pos, d in enumerate(updates):
+            if not np.isfinite(np.sum(d)) and not np.all(np.isfinite(d)):
+                raise CorruptUpdateError(client_ids[pos], epoch, iteration)
         return ScreenedUpdates(
             updates=list(updates),
             sample_counts=list(sample_counts) if sample_counts is not None else None,
             client_ids=[int(c) for c in client_ids],
         )
+    finite = [bool(np.isfinite(d).all()) for d in updates]
     kept: List[np.ndarray] = []
     kept_counts: List[int] = [] if sample_counts is not None else None
     kept_ids: List[int] = []

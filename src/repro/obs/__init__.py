@@ -13,7 +13,10 @@ Three layers:
   disabled nothing is emitted, timed, or attached to results.
 
 Recorded traces are rendered by :mod:`repro.obs.trace_report`
-(``repro trace DIR``).
+(``repro trace DIR``), profiled by :mod:`repro.obs.profile`
+(``repro profile DIR [--diff OTHER]``), tailed live by
+:mod:`repro.obs.follow` (``repro trace DIR --follow``), and exported to
+``metrics.json``/``metrics.prom`` at finalize by :mod:`repro.obs.export`.
 """
 
 from repro.obs.events import (
@@ -39,6 +42,25 @@ from repro.obs.hub import (
     set_telemetry,
     use_telemetry,
     validate_manifest,
+)
+from repro.obs.export import (
+    METRICS_NAME,
+    METRICS_SCHEMA_VERSION,
+    PROM_NAME,
+    build_metrics,
+    export_metrics,
+    load_metrics,
+    prometheus_exposition,
+)
+from repro.obs.follow import TraceFollower, follow_trace, sparkline
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    build_profile,
+    diff_profiles,
+    engine_counts,
+    profile_directory,
+    render_diff,
+    render_profile,
 )
 from repro.obs.registry import (
     MetricsRegistry,
@@ -75,4 +97,21 @@ __all__ = [
     "validate_manifest",
     "load_manifest",
     "render_trace",
+    "METRICS_SCHEMA_VERSION",
+    "METRICS_NAME",
+    "PROM_NAME",
+    "build_metrics",
+    "prometheus_exposition",
+    "export_metrics",
+    "load_metrics",
+    "PROFILE_SCHEMA_VERSION",
+    "build_profile",
+    "profile_directory",
+    "engine_counts",
+    "render_profile",
+    "diff_profiles",
+    "render_diff",
+    "TraceFollower",
+    "follow_trace",
+    "sparkline",
 ]

@@ -116,6 +116,8 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self._seq = 0
         self._epoch: Optional[int] = None
+        self._finalized = False
+        self._manifest_path: Optional[Path] = None
 
     @property
     def enabled(self) -> bool:
@@ -247,15 +249,32 @@ class Telemetry:
         The hub's own registry reaches the manifest via its snapshot file
         (like every worker's), so each process is counted exactly once no
         matter how often it snapshotted mid-run.
+
+        Idempotent: the first call does all the work and later calls
+        return the same path without touching the directory again.  All
+        artifacts (``manifest.json``, ``metrics.json``, ``metrics.prom``)
+        are written via temp-file + ``os.replace``, so a crash mid-write
+        leaves the previous version (or nothing) — never a torn file.
         """
+        if self._finalized:
+            return self._manifest_path
         self.flush()
         path: Optional[Path] = None
         if self.directory is not None:
             self.dump_worker_snapshot()
             manifest = build_manifest(self.directory, meta=meta)
             path = self.directory / MANIFEST_NAME
-            path.write_text(json.dumps(manifest, indent=2, sort_keys=False))
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(manifest, indent=2, sort_keys=False))
+            tmp.replace(path)
+            # Deferred import: export depends on the manifest shape built
+            # here, keeping hub <- export a one-way edge at import time.
+            from repro.obs.export import export_metrics
+
+            export_metrics(self.directory, manifest)
         self.close()
+        self._finalized = True
+        self._manifest_path = path
         return path
 
     def close(self) -> None:

@@ -1,0 +1,343 @@
+"""Deterministic hierarchical phase profiler over the telemetry registry.
+
+The merged timer registry inside ``manifest.json`` already carries every
+phase's count/total/min/max, but its hierarchy is purely lexical
+(``round.local_solve`` does not nest under ``experiment.round`` by name
+even though it always runs inside it).  This module reconstructs the
+*temporal* phase tree the instrumentation actually has, computes **self
+time** (a phase's cumulative total minus its direct children's totals —
+the time spent in the phase itself rather than in measured sub-phases),
+and renders:
+
+* a tree view with count / cumulative / self / mean / per-epoch columns
+  (per-epoch attribution divides by the manifest's ``epoch.complete``
+  count, so a 200-epoch sweep reads directly in ms/epoch);
+* a flat "hot phases" ranking by self time — the list that answers
+  "where did the time actually go";
+* a diff of two profiles (``repro profile A --diff B``) with per-phase
+  Δtotal/Δmean and regression highlighting.
+
+Everything here is a pure function of the input manifests: rendering the
+same manifest twice is byte-identical (all wall-clock content in a trace
+directory lives in the manifest's ``ts`` block and the timer stats, which
+are inputs, not ambient state).  The engine mix (loop/batched/des) is
+read from the ``round.complete`` events' ``engine`` field so a profile is
+labeled with what actually executed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "PHASE_PARENTS",
+    "build_profile",
+    "profile_directory",
+    "engine_counts",
+    "render_profile",
+    "diff_profiles",
+    "render_diff",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Temporal containment edges that the lexical timer names cannot express:
+#: solver iterations run inside the policy's select phase, the round
+#: timers inside the experiment round, and both experiment phases inside a
+#: sweep job.  Keys are exact timer names or dotted prefixes (trailing
+#: ``"."``); an edge only applies when the parent timer actually exists in
+#: the registry (a plain ``repro run`` has no ``sweep.job``), otherwise
+#: resolution falls back to the longest lexical prefix that is a timer.
+PHASE_PARENTS: Dict[str, str] = {
+    "experiment.select": "sweep.job",
+    "experiment.round": "sweep.job",
+    "solver.": "experiment.select",
+    "round.": "experiment.round",
+    "sim.round": "experiment.round",
+}
+
+
+def _declared_parent(name: str) -> Optional[str]:
+    exact = PHASE_PARENTS.get(name)
+    if exact is not None:
+        return exact
+    for prefix, parent in PHASE_PARENTS.items():
+        if prefix.endswith(".") and name.startswith(prefix):
+            return parent
+    return None
+
+
+def _parent_of(name: str, names: "set[str]") -> Optional[str]:
+    declared = _declared_parent(name)
+    if declared is not None and declared != name and declared in names:
+        return declared
+    parts = name.split(".")
+    for i in range(len(parts) - 1, 0, -1):
+        candidate = ".".join(parts[:i])
+        if candidate in names:
+            return candidate
+    return None
+
+
+def engine_counts(directory: str | Path) -> Dict[str, int]:
+    """Rounds executed per engine, from ``round.complete`` events."""
+    from repro.obs.events import iter_trace_lines
+
+    counts: Dict[str, int] = {}
+    for line in iter_trace_lines(directory):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if payload.get("kind") != "round.complete":
+            continue
+        engine = payload.get("data", {}).get("engine", "?")
+        counts[str(engine)] = counts.get(str(engine), 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def build_profile(
+    manifest: Mapping[str, Any],
+    engines: Optional[Mapping[str, int]] = None,
+) -> Dict[str, Any]:
+    """Build the phase-tree profile document from a telemetry manifest."""
+    timers = manifest.get("registry", {}).get("timers", {})
+    names = set(timers)
+    phases: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(names):
+        stat = timers[name]
+        phases[name] = {
+            "count": int(stat.get("count", 0)),
+            "total_s": float(stat.get("total_s", 0.0)),
+            "min_s": float(stat.get("min_s", 0.0)),
+            "max_s": float(stat.get("max_s", 0.0)),
+            "parent": _parent_of(name, names),
+            "children": [],
+        }
+    for name, node in phases.items():
+        if node["parent"] is not None:
+            phases[node["parent"]]["children"].append(name)
+    for node in phases.values():
+        node["children"].sort()
+        child_total = sum(phases[c]["total_s"] for c in node["children"])
+        node["self_s"] = max(0.0, node["total_s"] - child_total)
+    roots = sorted(n for n, node in phases.items() if node["parent"] is None)
+
+    def _depth(name: str) -> int:
+        d, cur = 0, phases[name]["parent"]
+        while cur is not None:
+            d, cur = d + 1, phases[cur]["parent"]
+        return d
+
+    for name, node in phases.items():
+        node["depth"] = _depth(name)
+    event_counts = manifest.get("event_counts", {})
+    epochs = int(event_counts.get("epoch.complete", 0))
+    return {
+        "v": PROFILE_SCHEMA_VERSION,
+        "kind": "profile",
+        "phases": phases,
+        "roots": roots,
+        "epochs": epochs,
+        "runs": int(event_counts.get("run.complete", 0)),
+        "engines": dict(engines) if engines else {},
+    }
+
+
+def profile_directory(directory: str | Path) -> Optional[Dict[str, Any]]:
+    """Profile one trace directory; ``None`` when it has no manifest."""
+    from repro.obs.trace_report import load_manifest
+
+    manifest = load_manifest(directory)
+    if manifest is None:
+        return None
+    return build_profile(manifest, engines=engine_counts(directory))
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _tree_order(profile: Mapping[str, Any]) -> List[str]:
+    """Depth-first order, siblings by cumulative time (desc, then name)."""
+    phases = profile["phases"]
+    order: List[str] = []
+
+    def visit(name: str) -> None:
+        order.append(name)
+        children = sorted(
+            phases[name]["children"],
+            key=lambda c: (-phases[c]["total_s"], c),
+        )
+        for child in children:
+            visit(child)
+
+    for root in sorted(profile["roots"], key=lambda r: (-phases[r]["total_s"], r)):
+        visit(root)
+    return order
+
+
+def render_profile(
+    profile: Mapping[str, Any],
+    top: int = 10,
+    label: str = "",
+) -> str:
+    """Render one profile: header, phase tree, hot-phase ranking."""
+    phases = profile["phases"]
+    lines: List[str] = []
+    title = "phase profile" + (f": {label}" if label else "")
+    lines.append(title)
+    lines.append("=" * len(title))
+    engines = profile.get("engines") or {}
+    engine_str = (
+        "  ".join(f"{k}x{v}" for k, v in sorted(engines.items()))
+        if engines
+        else "unknown"
+    )
+    epochs = int(profile.get("epochs", 0))
+    lines.append(
+        f"phases: {len(phases)}   runs: {profile.get('runs', 0)}   "
+        f"epochs: {epochs}   engines: {engine_str}"
+    )
+    if not phases:
+        lines.append("(no timers recorded)")
+        return "\n".join(lines) + "\n"
+    wall = sum(phases[r]["total_s"] for r in profile["roots"])
+    lines.append("")
+    header = (
+        f"{'phase':<34} {'count':>8} {'total':>10} {'self':>10} "
+        f"{'mean':>9} {'%root':>6}"
+    )
+    if epochs:
+        header += f" {'per-epoch':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in _tree_order(profile):
+        node = phases[name]
+        indent = "  " * node["depth"]
+        mean = node["total_s"] / node["count"] if node["count"] else 0.0
+        pct = 100.0 * node["total_s"] / wall if wall > 0 else 0.0
+        row = (
+            f"{indent + name:<34} {node['count']:>8} "
+            f"{_fmt_s(node['total_s']):>10} {_fmt_s(node['self_s']):>10} "
+            f"{_fmt_s(mean):>9} {pct:>5.1f}%"
+        )
+        if epochs:
+            row += f" {_fmt_s(node['total_s'] / epochs):>10}"
+        lines.append(row)
+    lines.append("")
+    lines.append(f"hot phases (self time, top {top}):")
+    ranked = sorted(
+        phases.items(), key=lambda kv: (-kv[1]["self_s"], kv[0])
+    )[: max(1, top)]
+    total_self = sum(node["self_s"] for node in phases.values())
+    for rank, (name, node) in enumerate(ranked, 1):
+        share = 100.0 * node["self_s"] / total_self if total_self > 0 else 0.0
+        lines.append(
+            f"  {rank:>2}. {name:<32} {_fmt_s(node['self_s']):>10}  "
+            f"{share:5.1f}% of self time, {node['count']} calls"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- diffing -------------------------------------------------------------------
+
+
+def diff_profiles(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> List[Dict[str, Any]]:
+    """Per-phase deltas between two profiles (``b`` relative to ``a``).
+
+    Rows are ordered by absolute total-time delta (desc, then name); a row
+    is a *regression* when the phase's mean time per call grew more than
+    5% from ``a`` to ``b``.
+    """
+    phases_a = a.get("phases", {})
+    phases_b = b.get("phases", {})
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(phases_a) | set(phases_b)):
+        pa = phases_a.get(name)
+        pb = phases_b.get(name)
+        count_a = pa["count"] if pa else 0
+        count_b = pb["count"] if pb else 0
+        total_a = pa["total_s"] if pa else 0.0
+        total_b = pb["total_s"] if pb else 0.0
+        mean_a = total_a / count_a if count_a else 0.0
+        mean_b = total_b / count_b if count_b else 0.0
+        mean_delta_pct = (
+            100.0 * (mean_b - mean_a) / mean_a if mean_a > 0 else None
+        )
+        rows.append(
+            {
+                "phase": name,
+                "count_a": count_a,
+                "count_b": count_b,
+                "total_a_s": total_a,
+                "total_b_s": total_b,
+                "total_delta_s": total_b - total_a,
+                "mean_a_s": mean_a,
+                "mean_b_s": mean_b,
+                "mean_delta_pct": mean_delta_pct,
+                "regressed": bool(
+                    mean_delta_pct is not None and mean_delta_pct > 5.0
+                ),
+            }
+        )
+    rows.sort(key=lambda r: (-abs(r["total_delta_s"]), r["phase"]))
+    return rows
+
+
+def render_diff(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Render :func:`diff_profiles` as a fixed-width delta table."""
+    rows = diff_profiles(a, b)
+    lines: List[str] = []
+    title = f"profile diff: {label_a} -> {label_b}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    if not rows:
+        lines.append("(no phases in either profile)")
+        return "\n".join(lines) + "\n"
+    header = (
+        f"{'phase':<30} {'count':>13} {'total':>21} {'mean':>19} "
+        f"{'d-mean':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        counts = f"{row['count_a']}->{row['count_b']}"
+        totals = f"{_fmt_s(row['total_a_s'])}->{_fmt_s(row['total_b_s'])}"
+        means = f"{_fmt_s(row['mean_a_s'])}->{_fmt_s(row['mean_b_s'])}"
+        if row["mean_delta_pct"] is None:
+            dmean = "new" if row["count_a"] == 0 else "gone"
+        else:
+            dmean = f"{row['mean_delta_pct']:+.1f}%"
+        marker = " !" if row["regressed"] else ""
+        lines.append(
+            f"{row['phase']:<30} {counts:>13} {totals:>21} {means:>19} "
+            f"{dmean:>8}{marker}"
+        )
+    regressions = [r for r in rows if r["regressed"]]
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"{len(regressions)} regressed phase(s) (mean/call > +5%): "
+            + ", ".join(r["phase"] for r in regressions)
+        )
+    else:
+        lines.append("no per-call regressions past 5%")
+    return "\n".join(lines) + "\n"

@@ -70,6 +70,9 @@ class SimRoundSpec:
     quorum: Optional[int] = None         # async: aggregate after K uploads
     faults: FaultProfile = field(default_factory=FaultProfile)
     min_participants: int = 1            # constraint (3b) floor
+    record_timeline: bool = True         # keep the per-message timeline
+                                         # (telemetry/gantt views); off =
+                                         # zero allocations per message
 
     def __post_init__(self) -> None:
         ids = np.asarray(self.client_ids, dtype=int)
@@ -288,12 +291,14 @@ class ServerProcess:
         self.num_retries = 0
         self.deadline_hits = 0
         self.timeline: List[TimelineRecord] = []
+        self._record_timeline = spec.record_timeline
         self.client_last_t: Dict[int, float] = {}
 
     # -- bookkeeping helpers -----------------------------------------------------
 
     def record(self, t: float, kind: str, cid: Optional[int]) -> None:
-        self.timeline.append(TimelineRecord(t, kind, cid, self.iteration))
+        if self._record_timeline:
+            self.timeline.append(TimelineRecord(t, kind, cid, self.iteration))
         if cid is not None:
             self.client_last_t[cid] = t
 

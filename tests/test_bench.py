@@ -191,3 +191,105 @@ class TestInPlaceSGD:
         snapshot = w.copy()
         SGD(lr=0.1).step(w, np.ones(32))
         assert np.array_equal(w, snapshot)
+
+
+class TestOverheadAudit:
+    @pytest.fixture(scope="class")
+    def audit(self):
+        from repro.experiments.bench import bench_overhead
+
+        return bench_overhead(quick=True, seed=0)
+
+    def test_report_shape(self, audit):
+        from repro.experiments.bench import NULL_PRIMITIVES, OVERHEAD_SCHEMA_VERSION
+
+        assert audit["schema_version"] == OVERHEAD_SCHEMA_VERSION
+        assert audit["kind"] == "overhead-audit"
+        assert set(audit["null_primitives_ns"]) == set(NULL_PRIMITIVES)
+        assert set(audit["layers"]) == {
+            "fl.batched", "fl.des", "fl.defended", "solver",
+        }
+        for layer in audit["layers"].values():
+            assert layer["disabled_s"] > 0
+            assert layer["enabled_s"] > 0
+            assert layer["events"] > 0
+            assert layer["timer_records_total"] > 0
+            assert layer["est_null_frac"] >= 0.0
+
+    def test_enabled_arm_attributes_hook_sites(self, audit):
+        batched = audit["layers"]["fl.batched"]
+        assert "epoch.complete" in batched["event_kinds"]
+        assert "experiment.round" in batched["timer_records"]
+        defended = audit["layers"]["fl.defended"]
+        assert "defense.round" in defended["event_kinds"]
+
+    def test_null_overhead_under_gate(self, audit):
+        from repro.experiments.bench import check_overhead
+
+        # The tentpole claim: disabled telemetry costs well under 2%.
+        assert check_overhead(audit, max_null_fraction=0.02) == []
+
+    def test_check_overhead_flags_exceeding_layer(self, audit):
+        from repro.experiments.bench import check_overhead
+
+        tight = copy.deepcopy(audit)
+        tight["layers"]["solver"]["est_null_frac"] = 0.5
+        failures = check_overhead(tight, max_null_fraction=0.02)
+        assert len(failures) == 1 and "solver" in failures[0]
+
+    def test_format_overhead_renders(self, audit):
+        from repro.experiments.bench import format_overhead
+
+        text = format_overhead(audit)
+        assert "null-hub primitives" in text
+        assert "fl.batched" in text
+        assert "hook sites" in text
+        assert format_overhead(audit) == text  # deterministic
+
+
+class TestBenchCompare:
+    def test_compare_detects_regression_and_improvement(self, tiny_report):
+        from repro.experiments.bench import compare_reports
+
+        slower = copy.deepcopy(tiny_report)
+        slower["fl"]["batched_epochs_per_s"] = (
+            tiny_report["fl"]["batched_epochs_per_s"] * 0.5
+        )
+        rows = compare_reports(tiny_report, slower, threshold=0.05)
+        by_metric = {f"{r['section']}.{r['metric']}": r for r in rows}
+        row = by_metric["fl.batched_epochs_per_s"]
+        assert row["regressed"] is True
+        assert row["delta_pct"] == pytest.approx(-50.0)
+
+    def test_self_compare_is_clean(self, tiny_report):
+        from repro.experiments.bench import compare_reports
+
+        rows = compare_reports(tiny_report, tiny_report)
+        assert rows and all(not r["regressed"] for r in rows)
+
+    def test_lower_is_better_metrics_flip_direction(self, tiny_report):
+        from repro.experiments.bench import compare_reports
+
+        slower = copy.deepcopy(tiny_report)
+        slower["fl"]["batched_epoch_latency_s"] = (
+            tiny_report["fl"]["batched_epoch_latency_s"] * 2.0
+        )
+        rows = compare_reports(tiny_report, slower, threshold=0.05)
+        by_metric = {f"{r['section']}.{r['metric']}": r for r in rows}
+        assert by_metric["fl.batched_epoch_latency_s"]["regressed"] is True
+
+    def test_tolerates_missing_sections(self, tiny_report):
+        from repro.experiments.bench import compare_reports
+
+        v1 = copy.deepcopy(tiny_report)
+        del v1["sim"]  # schema-v1 reports predate the sim section
+        rows = compare_reports(v1, tiny_report)
+        assert all(r["section"] != "sim" for r in rows)
+
+    def test_format_compare_renders(self, tiny_report):
+        from repro.experiments.bench import compare_reports, format_compare
+
+        text = format_compare(
+            compare_reports(tiny_report, tiny_report), "A", "B"
+        )
+        assert "bench compare: A -> B" in text

@@ -1,0 +1,145 @@
+"""Metrics exporter: metrics.json shape, prom exposition, finalize wiring."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS_NAME,
+    METRICS_SCHEMA_VERSION,
+    PROM_NAME,
+    Telemetry,
+    build_metrics,
+    export_metrics,
+    load_metrics,
+    prometheus_exposition,
+    use_telemetry,
+)
+from repro.obs.export import _format_value
+
+
+MANIFEST = {
+    "registry": {
+        "timers": {
+            "experiment.round": {
+                "count": 4, "total_s": 2.0, "min_s": 0.4, "max_s": 0.6,
+            },
+            "round.local_solve": {
+                "count": 8, "total_s": 1.2, "min_s": 0.1, "max_s": 0.2,
+            },
+        },
+        "counters": {"epochs": 4.0},
+        "gauges": {"controller.mu": 0.25},
+    },
+    "event_counts": {"epoch.complete": 4, "run.complete": 1},
+    "workers": [{"worker": "w1", "jobs": 3, "busy_s": 1.5}],
+    "meta": {"command": "run"},
+    "ts": {"generated_unix": 123.0},
+}
+
+
+class TestBuildMetrics:
+    def test_shape_and_derived_mean(self):
+        doc = build_metrics(MANIFEST)
+        assert doc["v"] == METRICS_SCHEMA_VERSION
+        assert doc["kind"] == "metrics"
+        timer = doc["timers"]["experiment.round"]
+        assert timer["count"] == 4
+        assert timer["mean_s"] == pytest.approx(0.5)
+        assert doc["counters"] == {"epochs": 4.0}
+        assert doc["gauges"] == {"controller.mu": 0.25}
+        assert doc["events"] == {"epoch.complete": 4, "run.complete": 1}
+        assert doc["events_total"] == 5
+        assert doc["workers"] == [{"worker": "w1", "jobs": 3, "busy_s": 1.5}]
+
+    def test_wall_clock_isolated_under_ts(self):
+        doc = build_metrics(MANIFEST)
+        assert doc["ts"] == {"generated_unix": 123.0}
+        stripped = {k: v for k, v in doc.items() if k != "ts"}
+        assert "generated_unix" not in json.dumps(stripped)
+
+    def test_empty_manifest(self):
+        doc = build_metrics({})
+        assert doc["timers"] == {}
+        assert doc["events_total"] == 0
+        assert prometheus_exposition(doc) == ""
+
+
+class TestPrometheusExposition:
+    def test_families_and_samples(self):
+        text = prometheus_exposition(build_metrics(MANIFEST))
+        assert "# TYPE repro_phase_seconds_total counter" in text
+        assert 'repro_phase_seconds_total{phase="experiment.round"} 2' in text
+        assert 'repro_phase_count_total{phase="round.local_solve"} 8' in text
+        assert 'repro_counter_total{name="epochs"} 4' in text
+        assert 'repro_gauge{name="controller.mu"} 0.25' in text
+        assert 'repro_events_total{kind="epoch.complete"} 4' in text
+        assert 'repro_worker_jobs_total{worker="w1"} 3' in text
+        assert 'repro_worker_busy_seconds_total{worker="w1"} 1.5' in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        doc = build_metrics(
+            {"registry": {"counters": {'a"b\\c\nd': 1.0}}}
+        )
+        text = prometheus_exposition(doc)
+        assert 'name="a\\"b\\\\c\\nd"' in text
+
+    def test_value_formatting(self):
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.125) == "0.125"
+
+
+class TestExportRoundTrip:
+    def test_export_then_load(self, tmp_path):
+        json_path, prom_path = export_metrics(tmp_path, MANIFEST)
+        assert json_path.name == METRICS_NAME
+        assert prom_path.name == PROM_NAME
+        loaded = load_metrics(tmp_path)
+        assert loaded == build_metrics(MANIFEST)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_load_missing_or_bad(self, tmp_path):
+        assert load_metrics(tmp_path) is None
+        (tmp_path / METRICS_NAME).write_text("{not json", encoding="utf-8")
+        assert load_metrics(tmp_path) is None
+        (tmp_path / METRICS_NAME).write_text('{"kind": "other"}')
+        assert load_metrics(tmp_path) is None
+
+
+class TestFinalizeIntegration:
+    def _record_run(self, tmp_path):
+        hub = Telemetry.for_directory(tmp_path, run_id="r0")
+        with use_telemetry(hub):
+            with hub.timer("experiment.round"):
+                pass
+            hub.emit("epoch.complete", epoch=0, data={"test_accuracy": 0.5})
+        return hub
+
+    def test_finalize_writes_metrics_artifacts(self, tmp_path):
+        hub = self._record_run(tmp_path)
+        hub.finalize(meta={"command": "test"})
+        assert (tmp_path / METRICS_NAME).is_file()
+        assert (tmp_path / PROM_NAME).is_file()
+        metrics = load_metrics(tmp_path)
+        assert metrics["events"]["epoch.complete"] == 1
+        assert "experiment.round" in metrics["timers"]
+        prom = (tmp_path / PROM_NAME).read_text(encoding="utf-8")
+        assert 'repro_events_total{kind="epoch.complete"} 1' in prom
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        hub = self._record_run(tmp_path)
+        first = hub.finalize(meta={"command": "test"})
+        before = (tmp_path / "manifest.json").read_text(encoding="utf-8")
+        second = hub.finalize(meta={"command": "other"})
+        assert first == second
+        after = (tmp_path / "manifest.json").read_text(encoding="utf-8")
+        assert before == after
+
+    def test_no_torn_tmp_files_left(self, tmp_path):
+        hub = self._record_run(tmp_path)
+        hub.finalize(meta={})
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,201 @@
+"""Live trace tailing: partial lines, truncation, missing manifest, determinism."""
+
+import json
+
+from repro.obs import Telemetry, TraceFollower, follow_trace, sparkline, use_telemetry
+from repro.obs.hub import MANIFEST_NAME
+
+
+def event_line(kind, run="r0", epoch=0, data=None):
+    return (
+        json.dumps(
+            {"v": 1, "seq": 0, "kind": kind, "run": run, "epoch": epoch,
+             "data": data or {}},
+            ensure_ascii=False,
+        )
+        + "\n"
+    )
+
+
+def epoch_event(epoch, run="r0", acc=0.5, lat=0.1, budget=10.0, quar=0):
+    return event_line(
+        "epoch.complete",
+        run=run,
+        epoch=epoch,
+        data={
+            "test_accuracy": acc,
+            "epoch_latency": lat,
+            "remaining_budget": budget,
+            "num_quarantined": quar,
+        },
+    )
+
+
+class TestSparkline:
+    def test_width_and_extremes(self):
+        line = sparkline([0.0, 1.0, 0.5], width=20)
+        assert len(line) == 3
+        assert line[0] == " " and line[1] == "@"
+
+    def test_constant_series_is_midpoint(self):
+        mid = len("abc")  # three values in, three chars out
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(line) == mid
+        assert len(set(line)) == 1  # flat series renders one level
+
+    def test_empty_and_nonfinite(self):
+        assert sparkline([]) == ""
+        assert sparkline([float("nan"), float("inf")]) == ""
+
+
+class TestPartialLines:
+    def test_partial_trailing_line_buffers_until_complete(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        full = epoch_event(0)
+        events.write_bytes(full[:20].encode())
+        follower = TraceFollower(tmp_path)
+        assert follower.poll() == []  # incomplete line: nothing rendered
+        events.write_bytes(full.encode())
+        lines = follower.poll()
+        assert len(lines) == 1
+        assert "t=   0" in lines[0] and "acc=0.5000" in lines[0]
+
+    def test_split_multibyte_utf8_survives(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        full = epoch_event(0, run="runé").encode("utf-8")
+        # Cut inside the 2-byte UTF-8 sequence for e-acute.
+        cut = full.index(b"\xc3") + 1
+        events.write_bytes(full[:cut])
+        follower = TraceFollower(tmp_path)
+        assert follower.poll() == []
+        events.write_bytes(full)
+        lines = follower.poll()
+        assert len(lines) == 1 and "runé" in lines[0]
+
+    def test_byte_by_byte_feed(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        full = (epoch_event(0) + epoch_event(1, acc=0.6)).encode()
+        follower = TraceFollower(tmp_path)
+        rendered = []
+        for i in range(1, len(full) + 1):
+            events.write_bytes(full[:i])
+            rendered.extend(follower.poll())
+        assert len(rendered) == 2
+        assert follower.malformed == 0
+
+
+class TestTruncation:
+    def test_shrunk_file_restarts_from_zero(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(epoch_event(0) + epoch_event(1))
+        follower = TraceFollower(tmp_path)
+        assert len(follower.poll()) == 2
+        events.write_text(epoch_event(0, run="r1"))  # rotated in place
+        lines = follower.poll()
+        assert any("truncated" in line for line in lines)
+        assert any("r1" in line for line in lines)
+
+
+class TestCompletionSignal:
+    def test_not_done_without_manifest(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(epoch_event(0))
+        follower = TraceFollower(tmp_path)
+        follower.poll()
+        follower.poll()  # drained, but no manifest: the run may still be live
+        assert follower.done is False
+
+    def test_done_needs_manifest_and_drained_poll(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(epoch_event(0))
+        (tmp_path / MANIFEST_NAME).write_text("{}")
+        follower = TraceFollower(tmp_path)
+        follower.poll()  # reads bytes: not yet done
+        assert follower.done is False
+        follower.poll()  # second poll drains nothing
+        assert follower.done is True
+
+    def test_missing_directory_never_done(self, tmp_path):
+        follower = TraceFollower(tmp_path / "nope")
+        assert follower.poll() == []
+        assert follower.done is False
+
+
+class TestEventHandling:
+    def test_run_filter(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(epoch_event(0, run="keep") + epoch_event(0, run="drop"))
+        follower = TraceFollower(tmp_path, run="keep")
+        lines = follower.poll()
+        assert len(lines) == 1 and "keep" in lines[0]
+
+    def test_malformed_lines_skipped_and_counted(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text("{broken\n[1,2]\n" + epoch_event(0))
+        follower = TraceFollower(tmp_path)
+        assert len(follower.poll()) == 1
+        assert follower.malformed == 2
+
+    def test_regret_fit_budget_accumulate(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(
+            event_line("learner.descent", data={"objective": 0.25,
+                                                "budget_headroom": 7.5})
+            + event_line("learner.ascent", data={"fit_increment": 1.5})
+            + epoch_event(0, budget=None)
+        )
+        follower = TraceFollower(tmp_path)
+        lines = [l for l in follower.poll() if "t=" in l]
+        assert "regret=0.250" in lines[0]
+        assert "fit=1.500" in lines[0]
+        assert "budget=7.5" in lines[0]  # falls back to descent headroom
+
+    def test_run_complete_renders_summary(self, tmp_path):
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(
+            epoch_event(0)
+            + event_line("run.complete", data={"stop_reason": "budget_exhausted"})
+        )
+        follower = TraceFollower(tmp_path)
+        lines = follower.poll()
+        assert any("run complete" in l and "budget_exhausted" in l for l in lines)
+        assert follower.runs_completed == 1
+
+    def test_rendering_is_deterministic(self, tmp_path):
+        content = (
+            epoch_event(0) + epoch_event(1, acc=0.6)
+            + event_line("run.complete", data={"stop_reason": "done"})
+        )
+        outputs = []
+        for sub in ("a", "b"):
+            d = tmp_path / sub
+            d.mkdir()
+            (d / "events-main.jsonl").write_text(content)
+            outputs.append(TraceFollower(d).poll())
+        assert outputs[0] == outputs[1]
+
+
+class TestFollowTrace:
+    def test_follows_real_run_to_completion(self, tmp_path, capsys):
+        hub = Telemetry.for_directory(tmp_path, run_id="r0")
+        with use_telemetry(hub):
+            hub.emit(
+                "epoch.complete", epoch=0,
+                data={"test_accuracy": 0.4, "epoch_latency": 0.1,
+                      "remaining_budget": 5.0, "num_quarantined": 0},
+            )
+            hub.emit("run.complete", epoch=0, data={"stop_reason": "done"})
+        hub.finalize(meta={})
+        code = follow_trace(tmp_path, poll_s=0.01, sleep=lambda s: None)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t=   0" in out
+        assert "[follow] complete:" in out
+
+    def test_timeout_without_events_exits_1(self, tmp_path, capsys):
+        code = follow_trace(
+            tmp_path / "nothing", poll_s=1.0, timeout_s=2.0,
+            sleep=lambda s: None,
+        )
+        assert code == 1
+        assert "timeout" in capsys.readouterr().out

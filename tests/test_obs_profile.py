@@ -1,0 +1,188 @@
+"""Phase profiler: tree construction, self time, rendering, diffing."""
+
+import pytest
+
+from repro.obs import (
+    PROFILE_SCHEMA_VERSION,
+    Telemetry,
+    build_profile,
+    diff_profiles,
+    engine_counts,
+    profile_directory,
+    render_diff,
+    render_profile,
+    use_telemetry,
+)
+from repro.obs.profile import _parent_of
+
+
+def timer(count, total, lo=0.0, hi=0.0):
+    return {"count": count, "total_s": total, "min_s": lo, "max_s": hi}
+
+
+def manifest_with(timers, event_counts=None):
+    return {
+        "registry": {"timers": timers, "counters": {}, "gauges": {}},
+        "event_counts": event_counts or {},
+    }
+
+
+class TestParentResolution:
+    def test_declared_edges_apply_when_parent_exists(self):
+        names = {"sweep.job", "experiment.round", "round.local_solve"}
+        assert _parent_of("experiment.round", names) == "sweep.job"
+        assert _parent_of("round.local_solve", names) == "experiment.round"
+
+    def test_declared_edge_skipped_when_parent_absent(self):
+        # A plain `repro run` has no sweep.job timer: experiment.* are roots.
+        names = {"experiment.round", "round.local_solve"}
+        assert _parent_of("experiment.round", names) is None
+        assert _parent_of("round.local_solve", names) == "experiment.round"
+
+    def test_lexical_fallback(self):
+        names = {"bench", "bench.fl", "bench.fl.loop"}
+        assert _parent_of("bench.fl.loop", names) == "bench.fl"
+        assert _parent_of("bench.fl", names) == "bench"
+        assert _parent_of("bench", names) is None
+
+    def test_solver_nests_under_select(self):
+        names = {"experiment.select", "solver.projected_gradient"}
+        assert _parent_of("solver.projected_gradient", names) == "experiment.select"
+
+
+class TestBuildProfile:
+    def test_self_time_subtracts_direct_children(self):
+        prof = build_profile(
+            manifest_with(
+                {
+                    "experiment.round": timer(2, 10.0),
+                    "round.local_solve": timer(4, 6.0),
+                    "round.aggregate": timer(4, 1.0),
+                },
+                {"epoch.complete": 2},
+            )
+        )
+        assert prof["v"] == PROFILE_SCHEMA_VERSION
+        node = prof["phases"]["experiment.round"]
+        assert node["self_s"] == pytest.approx(3.0)
+        assert node["children"] == ["round.aggregate", "round.local_solve"]
+        assert prof["roots"] == ["experiment.round"]
+        assert prof["epochs"] == 2
+
+    def test_self_time_clamped_at_zero(self):
+        # Children can sum past the parent (clock jitter); never negative.
+        prof = build_profile(
+            manifest_with(
+                {
+                    "experiment.round": timer(1, 1.0),
+                    "round.local_solve": timer(1, 1.5),
+                }
+            )
+        )
+        assert prof["phases"]["experiment.round"]["self_s"] == 0.0
+
+    def test_depths(self):
+        prof = build_profile(
+            manifest_with(
+                {
+                    "sweep.job": timer(1, 5.0),
+                    "experiment.round": timer(1, 3.0),
+                    "round.local_solve": timer(1, 2.0),
+                }
+            )
+        )
+        phases = prof["phases"]
+        assert phases["sweep.job"]["depth"] == 0
+        assert phases["experiment.round"]["depth"] == 1
+        assert phases["round.local_solve"]["depth"] == 2
+
+
+class TestRendering:
+    PROF = build_profile(
+        manifest_with(
+            {
+                "experiment.round": timer(2, 10.0),
+                "round.local_solve": timer(4, 6.0),
+            },
+            {"epoch.complete": 2, "run.complete": 1},
+        ),
+        engines={"batched": 2},
+    )
+
+    def test_render_is_deterministic(self):
+        assert render_profile(self.PROF) == render_profile(self.PROF)
+
+    def test_render_contents(self):
+        text = render_profile(self.PROF, top=5)
+        assert "engines: batchedx2" in text
+        assert "epochs: 2" in text
+        assert "  round.local_solve" in text  # indented under its parent
+        assert "hot phases (self time, top 5):" in text
+        assert "per-epoch" in text
+
+    def test_empty_profile(self):
+        text = render_profile(build_profile(manifest_with({})))
+        assert "(no timers recorded)" in text
+
+
+class TestDiff:
+    A = build_profile(manifest_with({"experiment.round": timer(2, 1.0)}))
+    B = build_profile(
+        manifest_with(
+            {"experiment.round": timer(2, 2.0), "round.aggregate": timer(2, 0.1)}
+        )
+    )
+
+    def test_regression_flagged_past_5pct(self):
+        rows = diff_profiles(self.A, self.B)
+        by_name = {r["phase"]: r for r in rows}
+        row = by_name["experiment.round"]
+        assert row["mean_delta_pct"] == pytest.approx(100.0)
+        assert row["regressed"] is True
+
+    def test_new_phase_has_no_mean_delta(self):
+        rows = diff_profiles(self.A, self.B)
+        by_name = {r["phase"]: r for r in rows}
+        assert by_name["round.aggregate"]["mean_delta_pct"] is None
+        assert by_name["round.aggregate"]["regressed"] is False
+
+    def test_rows_ordered_by_total_delta(self):
+        rows = diff_profiles(self.A, self.B)
+        deltas = [abs(r["total_delta_s"]) for r in rows]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_render_diff_marks_regressions(self):
+        text = render_diff(self.A, self.B)
+        assert " !" in text
+        assert "regressed phase(s)" in text
+
+    def test_self_diff_is_clean(self):
+        text = render_diff(self.A, self.A)
+        assert "no per-call regressions past 5%" in text
+        assert " !" not in text
+
+
+class TestDirectoryProfile:
+    def test_none_without_manifest(self, tmp_path):
+        assert profile_directory(tmp_path) is None
+
+    def test_profile_real_trace(self, tmp_path):
+        hub = Telemetry.for_directory(tmp_path, run_id="r0")
+        with use_telemetry(hub):
+            with hub.timer("experiment.round"):
+                with hub.timer("round.local_solve"):
+                    pass
+            hub.emit(
+                "round.complete", epoch=0, data={"engine": "batched"}
+            )
+            hub.emit("epoch.complete", epoch=0, data={})
+        hub.finalize(meta={})
+        prof = profile_directory(tmp_path)
+        assert prof is not None
+        assert prof["engines"] == {"batched": 1}
+        assert (
+            prof["phases"]["round.local_solve"]["parent"] == "experiment.round"
+        )
+        assert engine_counts(tmp_path) == {"batched": 1}
+        # Byte-determinism: same directory, same rendering.
+        assert render_profile(prof) == render_profile(profile_directory(tmp_path))
