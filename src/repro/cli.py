@@ -144,6 +144,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=80)
         p.add_argument("--save", type=str, default=None, metavar="PATH.json")
 
+    def scaling(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--num-clients", dest="clients", type=int,
+                       default=argparse.SUPPRESS, metavar="K",
+                       help="alias of --clients (large-K convention)")
+        p.add_argument("--num-shards", type=int, default=None, metavar="S",
+                       help="partition the fleet into S shards: per-shard "
+                       "FedL selection + hierarchical aggregation. Default: "
+                       "auto (clients//500 once clients >= 5000, else 1); "
+                       "pass 1 to force the flat path")
+        p.add_argument("--eval-sample", type=int, default=None, metavar="N",
+                       help="estimate the population loss from a fresh "
+                       "random panel of N available clients per epoch "
+                       "instead of sweeping all of them. Default: auto "
+                       "(2000 once clients >= 10000); pass 0 to force the "
+                       "exact full sweep")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress the periodic epoch-throughput "
+                       "heartbeat on stderr")
+
     def robustness(p: argparse.ArgumentParser) -> None:
         p.add_argument("--attack", default=None, choices=list(ATTACKS),
                        help="plant deterministic Byzantine clients with this "
@@ -159,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one policy end to end")
     common(p_run)
+    scaling(p_run)
     robustness(p_run)
     p_run.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
@@ -175,9 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(message-level DES: stragglers, deadlines, retries, async)",
     )
     common(p_sim)
+    scaling(p_sim)
     robustness(p_sim)
     p_sim.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_sim.add_argument("--budget", type=float, default=800.0)
+    p_sim.add_argument("--quick", action="store_true",
+                       help="smoke mode: cap the run at 5 epochs")
     p_sim.add_argument("--aggregation", default="sync",
                        choices=list(AGGREGATION_POLICIES),
                        help="server aggregation policy for each round")
@@ -371,6 +394,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar=("A.json", "B.json"),
                        help="print a per-layer delta table between two "
                        "saved bench reports, then exit")
+    p_bch.add_argument("--layers", nargs="+", default=None, metavar="LAYER",
+                       help="run only these bench layers (space- or "
+                       "comma-separated; known: fl, solver, nn, sim, "
+                       "scale; default: all)")
     return parser
 
 
@@ -450,6 +477,63 @@ def _attack_overlay(cfg, args: argparse.Namespace):
     return dataclasses.replace(cfg, attack=attack, defense=defense)
 
 
+#: Epoch-throughput heartbeat cadence (seconds) for run/sim; suppressed
+#: by --quiet.
+HEARTBEAT_S = 10.0
+
+#: Auto-sharding thresholds: populations at or above SHARD_AUTO_CLIENTS
+#: default to clients // SHARD_AUTO_DIVISOR shards; populations at or
+#: above EVAL_AUTO_CLIENTS default to an EVAL_AUTO_SAMPLE-client
+#: evaluation panel.  Explicit --num-shards / --eval-sample always win.
+SHARD_AUTO_CLIENTS = 5_000
+SHARD_AUTO_DIVISOR = 500
+EVAL_AUTO_CLIENTS = 10_000
+EVAL_AUTO_SAMPLE = 2_000
+
+
+def _validate_scaling_args(args: argparse.Namespace) -> Optional[str]:
+    """Semantic validation of --num-shards / --eval-sample (run/sim)."""
+    num_shards = getattr(args, "num_shards", None)
+    if num_shards is not None:
+        if num_shards < 1:
+            return "--num-shards must be >= 1"
+        if num_shards > args.clients:
+            return "--num-shards cannot exceed --clients"
+    eval_sample = getattr(args, "eval_sample", None)
+    if eval_sample is not None and eval_sample < 0:
+        return "--eval-sample must be >= 0 (0 = exact full sweep)"
+    return None
+
+
+def _scaling_overlay(cfg, args: argparse.Namespace):
+    """Overlay --num-shards/--eval-sample (with large-K auto-defaults).
+
+    With no flags and a small fleet the config is returned unchanged, so
+    the pre-sharding path stays exactly what it was.
+    """
+    clients = cfg.population.num_clients
+    num_shards = getattr(args, "num_shards", None)
+    if num_shards is None:
+        num_shards = (
+            max(1, clients // SHARD_AUTO_DIVISOR)
+            if clients >= SHARD_AUTO_CLIENTS
+            else 1
+        )
+    num_shards = min(num_shards, clients)
+    eval_sample = getattr(args, "eval_sample", None)
+    if eval_sample is None:
+        eval_sample = EVAL_AUTO_SAMPLE if clients >= EVAL_AUTO_CLIENTS else 0
+    eval_opt = None if eval_sample == 0 else int(eval_sample)
+    if num_shards == 1 and eval_opt is None:
+        return cfg
+    return dataclasses.replace(
+        cfg,
+        shard=dataclasses.replace(
+            cfg.shard, num_shards=num_shards, eval_sample=eval_opt
+        ),
+    )
+
+
 def _parse_params(pairs: Sequence[str]) -> dict:
     """Parse repeated ``--param KEY=VALUE`` flags into an override dict.
 
@@ -476,8 +560,10 @@ def _parse_params(pairs: Sequence[str]) -> dict:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    error = _validate_common(args) or _validate_attack_args(
-        args.attack, args.attack_fraction
+    error = (
+        _validate_common(args)
+        or _validate_scaling_args(args)
+        or _validate_attack_args(args.attack, args.attack_fraction)
     )
     if error:
         return _usage_error(error)
@@ -490,6 +576,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         min_participants=args.participants,
         max_epochs=args.epochs,
     )
+    cfg = _scaling_overlay(cfg, args)
     cfg = _attack_overlay(cfg, args)
     try:
         params = _parse_params(args.param)
@@ -508,7 +595,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     try:
         with use_telemetry(hub):
-            result = run_experiment(policy, cfg)
+            result = run_experiment(
+                policy, cfg,
+                heartbeat_s=None if args.quiet else HEARTBEAT_S,
+            )
     except (CorruptUpdateError, TrainingDivergedError) as exc:
         print(f"repro: training aborted: {exc}", file=sys.stderr)
         return 1
@@ -538,11 +628,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sim(args: argparse.Namespace) -> int:
     error = (
         _validate_common(args)
+        or _validate_scaling_args(args)
         or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
         or _validate_attack_args(args.attack, args.attack_fraction)
     )
     if error:
         return _usage_error(error)
+    max_epochs = min(args.epochs, 5) if args.quick else args.epochs
     cfg = experiment_config(
         dataset=args.dataset,
         iid=not args.non_iid,
@@ -550,8 +642,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_clients=args.clients,
         min_participants=args.participants,
-        max_epochs=args.epochs,
+        max_epochs=max_epochs,
     )
+    cfg = _scaling_overlay(cfg, args)
     cfg = dataclasses.replace(
         cfg,
         training=dataclasses.replace(cfg.training, engine="des"),
@@ -573,7 +666,10 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     )
     try:
         with use_telemetry(hub):
-            result = run_experiment(policy, cfg)
+            result = run_experiment(
+                policy, cfg,
+                heartbeat_s=None if args.quiet else HEARTBEAT_S,
+            )
     except ParticipationFloorError as exc:
         print(f"repro: simulation aborted: {exc}", file=sys.stderr)
         return 1
@@ -1054,13 +1150,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baseline = load_report(args.check)
         except (OSError, ValueError) as exc:
             return _usage_error(f"cannot read baseline: {exc}")
-    report = run_bench(
-        quick=args.quick,
-        num_clients=args.clients,
-        max_epochs=args.epochs,
-        seed=args.seed,
-        pre_pr_seconds=args.pre_pr_seconds,
-    )
+    layers = None
+    if args.layers is not None:
+        layers = [
+            name for item in args.layers for name in item.split(",") if name
+        ]
+        if not layers:
+            return _usage_error("--layers must name at least one layer")
+    try:
+        report = run_bench(
+            quick=args.quick,
+            num_clients=args.clients,
+            max_epochs=args.epochs,
+            seed=args.seed,
+            pre_pr_seconds=args.pre_pr_seconds,
+            layers=layers,
+        )
+    except ValueError as exc:
+        return _usage_error(str(exc))
     print(format_report(report))
     if args.out:
         path = save_report(report, args.out)

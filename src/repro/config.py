@@ -29,6 +29,7 @@ __all__ = [
     "AttackConfig",
     "DefenseConfig",
     "FedLConfig",
+    "ShardConfig",
     "ExperimentConfig",
 ]
 
@@ -332,6 +333,40 @@ class FedLConfig:
 
 
 @dataclass(frozen=True)
+class ShardConfig:
+    """Sharded-selection architecture for large client populations.
+
+    ``num_shards = 1`` (default) is the flat path: selection runs as a
+    single global FedL subproblem and every output is bit-identical to
+    pre-shard builds.  With ``num_shards = S > 1`` the fleet is
+    partitioned into S shards (deterministic under the experiment seed),
+    the per-epoch budget is decomposed across shards, and the O(K²)
+    selection subproblem runs per shard — O(S·(K/S)²) total.
+
+    ``eval_sample`` bounds the per-epoch full-population loss sweep (and
+    the matching data installation) to a random subsample of the
+    available clients; ``None`` keeps the exact legacy sweep.  Only
+    meaningful at large K where the sweep itself dominates.
+    """
+
+    num_shards: int = 1
+    assignment: str = "contiguous"      # "contiguous" | "kmeans" (positions)
+    budget_split: str = "mass"          # "mass" (belief-cost mass) | "uniform"
+    eval_sample: Optional[int] = None   # None = exact full-population sweep
+
+    def __post_init__(self) -> None:
+        _require(self.num_shards >= 1, "num_shards must be >= 1")
+        _require(
+            self.assignment in ("contiguous", "kmeans"), "unknown shard assignment"
+        )
+        _require(
+            self.budget_split in ("mass", "uniform"), "unknown budget_split"
+        )
+        if self.eval_sample is not None:
+            _require(self.eval_sample >= 1, "eval_sample must be >= 1")
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Top-level experiment description."""
 
@@ -347,6 +382,7 @@ class ExperimentConfig:
     attack: AttackConfig = field(default_factory=AttackConfig)
     defense: DefenseConfig = field(default_factory=DefenseConfig)
     fedl: FedLConfig = field(default_factory=FedLConfig)
+    shard: ShardConfig = field(default_factory=ShardConfig)
 
     def __post_init__(self) -> None:
         _require(self.budget > 0, "budget must be positive")
@@ -356,6 +392,10 @@ class ExperimentConfig:
             "min_participants cannot exceed the number of clients",
         )
         _require(self.max_epochs >= 1, "max_epochs >= 1")
+        _require(
+            self.shard.num_shards <= self.population.num_clients,
+            "num_shards cannot exceed the number of clients",
+        )
 
     def replace(self, **kwargs) -> "ExperimentConfig":
         """Convenience alias for :func:`dataclasses.replace`."""

@@ -13,10 +13,12 @@
 from repro.env.population import Population, build_population
 from repro.env.availability import AvailabilityProcess, MarkovAvailabilityProcess
 from repro.env.dynamics import PriceProcess, DataVolumeProcess
+from repro.env.state import ClientStateArrays
 
 __all__ = [
     "Population",
     "build_population",
+    "ClientStateArrays",
     "AvailabilityProcess",
     "MarkovAvailabilityProcess",
     "PriceProcess",

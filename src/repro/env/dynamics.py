@@ -50,6 +50,11 @@ class PriceProcess:
         self.phi = mean_reversion
         self.clip_range = (lo, hi)
         self._current = np.clip(base.copy(), lo, hi)
+        # Preallocated buffers for the allocation-free step_into path
+        # (lazy: only runs that call step_into pay for them).
+        self._vol_base: np.ndarray | None = None
+        self._step_buf: np.ndarray | None = None
+        self._noise_buf: np.ndarray | None = None
 
     @property
     def current(self) -> np.ndarray:
@@ -70,6 +75,32 @@ class PriceProcess:
             hi,
         )
         return self._current.copy()
+
+    def step_into(self, out: np.ndarray) -> np.ndarray:
+        """Allocation-free :meth:`step`: advance and write into ``out``.
+
+        Bit-identical to ``step`` (verified in tests): the elementwise
+        operations are reassociated only where IEEE-754 results cannot
+        change (commuted additions; ``volatility · base`` hoisted to a
+        constant buffer), and ``standard_normal(out=...)`` draws the same
+        deviates ``normal(0, 1, size)`` would.
+        """
+        if self._vol_base is None:
+            self._vol_base = self.volatility * self.base
+            self._step_buf = np.empty_like(self.base)
+            self._noise_buf = np.empty_like(self.base)
+        lo, hi = self.clip_range
+        buf, noise = self._step_buf, self._noise_buf
+        self.rng.standard_normal(out=noise)
+        # base + phi·(cur − base) + (vol·base)·noise, term by term in place.
+        np.subtract(self._current, self.base, out=buf)
+        buf *= self.phi
+        buf += self.base
+        noise *= self._vol_base
+        buf += noise
+        np.clip(buf, lo, hi, out=self._current)
+        np.copyto(out, self._current)
+        return out
 
 
 class DataVolumeProcess:
@@ -104,3 +135,11 @@ class DataVolumeProcess:
         """Draw one epoch's per-client sample counts, dtype int64."""
         counts = self.rng.poisson(self.means)
         return np.maximum(counts, self.min_samples).astype(np.int64)
+
+    def sample_into(self, out: np.ndarray) -> np.ndarray:
+        """:meth:`sample` writing into a preallocated int64 ``out``
+        (bit-identical draws; only the floor+cast copy is saved — the
+        Poisson draw itself has no output-buffer API)."""
+        counts = self.rng.poisson(self.means)
+        np.maximum(counts, self.min_samples, out=out)
+        return out

@@ -50,6 +50,12 @@ class Population:
         """Distance of each client from the server (origin)."""
         return np.linalg.norm(self.positions_m, axis=1)
 
+    def state_arrays(self, tau_prior: float = 1.0) -> "ClientStateArrays":
+        """Preallocate the flat mutable per-client state for this fleet."""
+        from repro.env.state import ClientStateArrays
+
+        return ClientStateArrays(self.num_clients, tau_prior=tau_prior)
+
 
 def build_population(
     config: PopulationConfig,

@@ -35,10 +35,12 @@ from repro.obs import Telemetry, use_telemetry
 __all__ = [
     "SCHEMA_VERSION",
     "OVERHEAD_SCHEMA_VERSION",
+    "BENCH_LAYERS",
     "bench_fl_engine",
     "bench_solver",
     "bench_nn_kernels",
     "bench_sim",
+    "bench_scale",
     "run_bench",
     "bench_overhead",
     "check_overhead",
@@ -51,7 +53,13 @@ __all__ = [
 
 # v2: adds the "sim" layer (event-driven runtime overhead vs the
 # closed-form latency model) — BENCH_PR4.json is the first v2 baseline.
-SCHEMA_VERSION = 2
+# v3: adds the "scale" layer (sharded vs flat FedL selection at large K)
+# — BENCH_PR8.json is the first v3 baseline.
+SCHEMA_VERSION = 3
+
+#: Layers ``run_bench`` knows how to run, in execution order; the CLI's
+#: ``--layers`` flag filters this set.
+BENCH_LAYERS = ("fl", "solver", "nn", "sim", "scale")
 
 #: Ratio metrics gated by :func:`check_regression` regardless of config —
 #: both sides of each ratio are measured in the same process on the same
@@ -63,6 +71,7 @@ SCHEMA_VERSION = 2
 RATIO_KEYS = (
     ("fl", "speedup_vs_loop"),
     ("solver", "warm_iter_ratio"),
+    ("scale", "speedup_vs_flat_k10000"),
 )
 
 #: Absolute throughput metrics (higher is better), gated only under
@@ -391,6 +400,146 @@ def bench_sim(
     }
 
 
+# -- layer 5: population scaling (sharded selection) ---------------------------
+
+
+def _drive_selection(policy, num_clients: int, epochs: int, budget: float,
+                     min_participants: int, seed: int):
+    """Run ``policy`` over a synthetic ctx stream; returns (masks, seconds).
+
+    The stream is derived purely from ``seed``, so two policies driven
+    with the same arguments see identical epochs — the basis for both the
+    flat-vs-sharded timing comparison and the S=1 bit-identity check.
+    """
+    from repro.baselines.base import EpochContext, RoundFeedback
+
+    env = np.random.default_rng(seed)
+    remaining = budget
+    masks = []
+    total = 0.0
+    for t in range(epochs):
+        available = env.random(num_clients) < 0.9
+        costs = env.uniform(0.1, 12.0, num_clients)
+        tau = env.uniform(0.2, 3.0, num_clients)
+        losses = env.uniform(0.1, 2.0, num_clients)
+        etas = env.uniform(0.2, 0.8, num_clients)
+        ctx = EpochContext(
+            t=t,
+            available=available,
+            costs=costs,
+            remaining_budget=remaining,
+            min_participants=min_participants,
+            tau_last=tau,
+            local_losses=losses,
+        )
+        t0 = time.perf_counter()
+        decision = policy.select(ctx)
+        sel = decision.selected & available
+        cost = float(costs[sel].sum())
+        remaining -= cost
+        policy.update(
+            RoundFeedback(
+                t=t,
+                selected=sel,
+                tau_realized=tau,
+                local_etas=np.where(sel, etas, np.nan),
+                local_losses=losses,
+                population_loss=1.0,
+                cost_spent=cost,
+                epoch_latency=float(decision.iterations),
+            )
+        )
+        total += time.perf_counter() - t0
+        masks.append(sel)
+    return masks, total
+
+
+def bench_scale(
+    populations: "tuple[int, ...]" = (1_000, 10_000),
+    epochs: int = 3,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Sharded vs flat FedL selection at large client populations.
+
+    The FedL hot path is the O(F²) dependent-rounding pairing loop over
+    the fractional support; sharding replaces it with S independent
+    O((F/S)²) subproblems.  Both arms run the *full* select+update policy
+    pipeline (FISTA descent, RDCS rounding, feasibility repair, learner
+    feedback) on identical synthetic epoch streams — no model training, so
+    the timing isolates the selection layer the tentpole optimises.
+
+    Also checks, at K=100, that a single-shard :class:`ShardedFedLPolicy`
+    reproduces the flat :class:`FedLPolicy` decisions bit-identically
+    (``single_shard_identical`` — gated by :func:`check_regression`).
+    """
+    from repro.config import ShardConfig
+    from repro.core.fedl import FedLPolicy
+    from repro.fl.shard import ShardedFedLPolicy
+
+    theta = 0.5
+    per_population: Dict[str, Any] = {}
+    out: Dict[str, Any] = {
+        "config": {
+            "populations": list(populations),
+            "epochs": epochs,
+            "seed": seed,
+        },
+    }
+    for k in populations:
+        n_min = max(4, k // 100)
+        num_shards = max(2, k // 500)
+        budget = 1e9  # unconstrained: keeps selection sizes comparable
+        flat = FedLPolicy(
+            k, budget, n_min, theta, np.random.default_rng(seed)
+        )
+        flat_masks, flat_s = _drive_selection(
+            flat, k, epochs, budget, n_min, seed
+        )
+        sharded = ShardedFedLPolicy(
+            k, budget, n_min, theta, np.random.default_rng(seed),
+            shard=ShardConfig(num_shards=num_shards),
+        )
+        shard_masks, shard_s = _drive_selection(
+            sharded, k, epochs, budget, n_min, seed
+        )
+        per_population[str(k)] = {
+            "num_shards": num_shards,
+            "min_participants": n_min,
+            "flat_seconds": flat_s,
+            "sharded_seconds": shard_s,
+            "flat_epochs_per_s": epochs / flat_s if flat_s > 0 else 0.0,
+            "sharded_epochs_per_s": epochs / shard_s if shard_s > 0 else 0.0,
+            "speedup_vs_flat": flat_s / shard_s if shard_s > 0 else float("inf"),
+            "flat_mean_selected": float(
+                np.mean([m.sum() for m in flat_masks])
+            ),
+            "sharded_mean_selected": float(
+                np.mean([m.sum() for m in shard_masks])
+            ),
+        }
+    out["per_population"] = per_population
+    for k in populations:
+        out[f"speedup_vs_flat_k{k}"] = per_population[str(k)]["speedup_vs_flat"]
+        out[f"sharded_epochs_per_s_k{k}"] = per_population[str(k)][
+            "sharded_epochs_per_s"
+        ]
+    # S=1 bit-identity at K=100: same rng seed, same stream -> identical
+    # masks on every epoch.
+    k_id = 100
+    flat = FedLPolicy(k_id, 500.0, 10, theta, np.random.default_rng(seed))
+    single = ShardedFedLPolicy(
+        k_id, 500.0, 10, theta, np.random.default_rng(seed),
+        shard=ShardConfig(num_shards=1),
+    )
+    masks_a, _ = _drive_selection(flat, k_id, 20, 500.0, 10, seed)
+    masks_b, _ = _drive_selection(single, k_id, 20, 500.0, 10, seed)
+    out["single_shard_identical"] = bool(
+        len(masks_a) == len(masks_b)
+        and all(np.array_equal(a, b) for a, b in zip(masks_a, masks_b))
+    )
+    return out
+
+
 # -- assembly ------------------------------------------------------------------
 
 
@@ -400,35 +549,31 @@ def run_bench(
     max_epochs: Optional[int] = None,
     seed: int = 0,
     pre_pr_seconds: Optional[float] = None,
+    layers: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
-    """Run all three layers; returns the versioned JSON-ready report.
+    """Run the benchmark layers; returns the versioned JSON-ready report.
 
     ``pre_pr_seconds`` (optional) is the wall time of the pre-PR loop
     reference at the same FL config, measured from a worktree of the
     parent commit — it cannot be re-measured from this tree, so it is
     passed in and recorded alongside the in-process numbers.
+
+    ``layers`` (optional) restricts the run to a subset of
+    :data:`BENCH_LAYERS` — e.g. ``["fl", "scale"]``.  Skipped layers are
+    absent from the report; :func:`check_regression` only gates sections
+    that are present.
     """
+    if layers is not None:
+        unknown = sorted(set(layers) - set(BENCH_LAYERS))
+        if unknown:
+            raise ValueError(
+                f"unknown bench layer(s) {unknown}; known: {list(BENCH_LAYERS)}"
+            )
+    selected = set(BENCH_LAYERS if layers is None else layers)
     clients = num_clients if num_clients is not None else (40 if quick else 100)
     epochs = max_epochs if max_epochs is not None else (40 if quick else 200)
     budget = 9000.0
-    fl = bench_fl_engine(
-        num_clients=clients, budget=budget, max_epochs=epochs, seed=seed
-    )
-    if pre_pr_seconds is not None:
-        fl["pre_pr_seconds"] = float(pre_pr_seconds)
-        fl["speedup_vs_pre_pr"] = (
-            float(pre_pr_seconds) / fl["batched_seconds"]
-            if fl["batched_seconds"] > 0
-            else float("inf")
-        )
-    solver = bench_solver(
-        num_clients=min(clients, 30), horizon=20 if quick else 50, seed=seed
-    )
-    nn = bench_nn_kernels(repeats=10 if quick else 30, seed=seed)
-    sim = bench_sim(
-        num_clients=min(clients, 32), rounds=50 if quick else 200, seed=seed
-    )
-    return {
+    report: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "meta": {
@@ -436,11 +581,38 @@ def run_bench(
             "numpy": np.__version__,
             "created_unix": time.time(),
         },
-        "fl": fl,
-        "solver": solver,
-        "nn": nn,
-        "sim": sim,
     }
+    if "fl" in selected:
+        fl = bench_fl_engine(
+            num_clients=clients, budget=budget, max_epochs=epochs, seed=seed
+        )
+        if pre_pr_seconds is not None:
+            fl["pre_pr_seconds"] = float(pre_pr_seconds)
+            fl["speedup_vs_pre_pr"] = (
+                float(pre_pr_seconds) / fl["batched_seconds"]
+                if fl["batched_seconds"] > 0
+                else float("inf")
+            )
+        report["fl"] = fl
+    if "solver" in selected:
+        report["solver"] = bench_solver(
+            num_clients=min(clients, 30), horizon=20 if quick else 50, seed=seed
+        )
+    if "nn" in selected:
+        report["nn"] = bench_nn_kernels(repeats=10 if quick else 30, seed=seed)
+    if "sim" in selected:
+        report["sim"] = bench_sim(
+            num_clients=min(clients, 32), rounds=50 if quick else 200, seed=seed
+        )
+    if "scale" in selected:
+        # Quick mode stays at populations where the flat reference is
+        # cheap; the committed baseline uses the full (1e3, 1e4) pair.
+        report["scale"] = bench_scale(
+            populations=(500, 2_000) if quick else (1_000, 10_000),
+            epochs=2 if quick else 3,
+            seed=seed,
+        )
+    return report
 
 
 def check_regression(
@@ -457,14 +629,23 @@ def check_regression(
     and the FL configs match — they do not transfer across machines.
     """
     failures: List[str] = []
-    if not current.get("fl", {}).get("identical", False):
+    # Exactness invariants, checked whenever the section ran (a --layers
+    # subset run simply skips the absent sections).
+    if "fl" in current and not current["fl"].get("identical", False):
         failures.append("fl: loop and batched engines are no longer bit-identical")
-    if not current.get("nn", {}).get("sgd_results_equal", False):
+    if "nn" in current and not current["nn"].get("sgd_results_equal", False):
         failures.append("nn: in-place SGD no longer matches the allocating path")
-    if not current.get("sim", {}).get("exact", False):
+    if "sim" in current and not current["sim"].get("exact", False):
         failures.append(
             "sim: DES no longer reproduces the closed-form epoch latency "
             "bit-exactly"
+        )
+    if "scale" in current and not current["scale"].get(
+        "single_shard_identical", False
+    ):
+        failures.append(
+            "scale: single-shard sharded policy no longer matches the flat "
+            "FedL policy bit-identically"
         )
     if int(baseline.get("schema_version", 0)) != SCHEMA_VERSION:
         failures.append(
@@ -498,49 +679,60 @@ def check_regression(
 
 
 def format_report(report: Dict[str, Any]) -> str:
-    """Human-readable summary of :func:`run_bench` output."""
-    fl, solver, nn = report["fl"], report["solver"], report["nn"]
+    """Human-readable summary of :func:`run_bench` output.  Sections
+    skipped by ``--layers`` are simply absent."""
+    fl = report.get("fl")
+    solver = report.get("solver")
+    nn = report.get("nn")
     sim = report.get("sim")
+    scale = report.get("scale")
     lines = [
         f"repro bench (schema v{report['schema_version']}"
         + (", quick)" if report.get("quick") else ")"),
-        "",
-        f"[fl]      {fl['config']['num_clients']} clients x {fl['epochs']} epochs "
-        f"(budget {fl['config']['budget']:g})",
-        f"          loop    {fl['loop_seconds']:8.2f}s  "
-        f"({fl['loop_epochs_per_s']:6.2f} epochs/s)",
-        f"          batched {fl['batched_seconds']:8.2f}s  "
-        f"({fl['batched_epochs_per_s']:6.2f} epochs/s)  "
-        f"speedup {fl['speedup_vs_loop']:.2f}x",
-        f"          bit-identical results: {fl['identical']}   "
-        f"solver iters/epoch: {fl['solver_iters_per_epoch']:.1f}",
     ]
-    if "speedup_vs_pre_pr" in fl:
-        lines.append(
-            f"          pre-PR reference {fl['pre_pr_seconds']:.2f}s  "
-            f"-> speedup {fl['speedup_vs_pre_pr']:.2f}x"
-        )
-    lines += [
-        "",
-        f"[solver]  {solver['config']['num_clients']} clients x "
-        f"{solver['config']['horizon']} epoch subproblems",
-        f"          cold {solver['cold']['total_s']:.3f}s "
-        f"({solver['cold']['iters_per_solve']:.1f} iters/solve)   "
-        f"warm {solver['warm']['total_s']:.3f}s "
-        f"({solver['warm']['iters_per_solve']:.1f} iters/solve)   "
-        f"speedup {solver['warm_speedup']:.2f}x",
-        f"          warm hits {solver['warm']['warm_start_hits']:.0f}, "
-        f"iterations saved {solver['warm']['iterations_saved']:.0f}",
-        "",
-        f"[nn]      conv cold {nn['conv_cold_s'] * 1e3:.2f}ms, steady "
-        f"{nn['conv_steady_s'] * 1e3:.2f}ms "
-        f"({nn['conv_steps_per_s']:.0f} steps/s, cache speedup "
-        f"{nn['conv_cache_speedup']:.2f}x)",
-        f"          sgd step copy {nn['sgd_copy_step_s'] * 1e3:.3f}ms, "
-        f"in-place {nn['sgd_in_place_step_s'] * 1e3:.3f}ms "
-        f"({nn['sgd_in_place_speedup']:.2f}x, results equal: "
-        f"{nn['sgd_results_equal']})",
-    ]
+    if fl is not None:
+        lines += [
+            "",
+            f"[fl]      {fl['config']['num_clients']} clients x {fl['epochs']} epochs "
+            f"(budget {fl['config']['budget']:g})",
+            f"          loop    {fl['loop_seconds']:8.2f}s  "
+            f"({fl['loop_epochs_per_s']:6.2f} epochs/s)",
+            f"          batched {fl['batched_seconds']:8.2f}s  "
+            f"({fl['batched_epochs_per_s']:6.2f} epochs/s)  "
+            f"speedup {fl['speedup_vs_loop']:.2f}x",
+            f"          bit-identical results: {fl['identical']}   "
+            f"solver iters/epoch: {fl['solver_iters_per_epoch']:.1f}",
+        ]
+        if "speedup_vs_pre_pr" in fl:
+            lines.append(
+                f"          pre-PR reference {fl['pre_pr_seconds']:.2f}s  "
+                f"-> speedup {fl['speedup_vs_pre_pr']:.2f}x"
+            )
+    if solver is not None:
+        lines += [
+            "",
+            f"[solver]  {solver['config']['num_clients']} clients x "
+            f"{solver['config']['horizon']} epoch subproblems",
+            f"          cold {solver['cold']['total_s']:.3f}s "
+            f"({solver['cold']['iters_per_solve']:.1f} iters/solve)   "
+            f"warm {solver['warm']['total_s']:.3f}s "
+            f"({solver['warm']['iters_per_solve']:.1f} iters/solve)   "
+            f"speedup {solver['warm_speedup']:.2f}x",
+            f"          warm hits {solver['warm']['warm_start_hits']:.0f}, "
+            f"iterations saved {solver['warm']['iterations_saved']:.0f}",
+        ]
+    if nn is not None:
+        lines += [
+            "",
+            f"[nn]      conv cold {nn['conv_cold_s'] * 1e3:.2f}ms, steady "
+            f"{nn['conv_steady_s'] * 1e3:.2f}ms "
+            f"({nn['conv_steps_per_s']:.0f} steps/s, cache speedup "
+            f"{nn['conv_cache_speedup']:.2f}x)",
+            f"          sgd step copy {nn['sgd_copy_step_s'] * 1e3:.3f}ms, "
+            f"in-place {nn['sgd_in_place_step_s'] * 1e3:.3f}ms "
+            f"({nn['sgd_in_place_speedup']:.2f}x, results equal: "
+            f"{nn['sgd_results_equal']})",
+        ]
     if sim is not None:
         lines += [
             "",
@@ -556,6 +748,25 @@ def format_report(report: Dict[str, Any]) -> str:
             f"flaky-uplink {sim['faulted_rounds_per_s']:.0f} rounds/s "
             f"({sim['faulted_retries']} retries)",
         ]
+    if scale is not None:
+        lines += [
+            "",
+            f"[scale]   FedL selection, {scale['config']['epochs']} epochs "
+            f"per population",
+        ]
+        for k, row in scale["per_population"].items():
+            lines.append(
+                f"          K={int(k):>6}  flat {row['flat_epochs_per_s']:8.2f} ep/s  "
+                f"sharded (S={row['num_shards']}) "
+                f"{row['sharded_epochs_per_s']:8.2f} ep/s  "
+                f"speedup {row['speedup_vs_flat']:.2f}x  "
+                f"(|sel| {row['flat_mean_selected']:.0f} vs "
+                f"{row['sharded_mean_selected']:.0f})"
+            )
+        lines.append(
+            f"          single-shard bit-identical to flat: "
+            f"{scale['single_shard_identical']}"
+        )
     return "\n".join(lines)
 
 
@@ -845,6 +1056,8 @@ COMPARE_METRICS = (
     ("nn", "sgd_in_place_speedup", "higher"),
     ("sim", "rounds_per_s", "higher"),
     ("sim", "overhead_ratio", "lower"),
+    ("scale", "speedup_vs_flat_k10000", "higher"),
+    ("scale", "sharded_epochs_per_s_k10000", "higher"),
 )
 
 

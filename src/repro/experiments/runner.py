@@ -22,6 +22,8 @@ experiment itself runs as fast as NumPy allows.
 from __future__ import annotations
 
 import dataclasses
+import sys
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -312,13 +314,44 @@ class Simulation:
         return self.population.bits_per_sample
 
 
+def _install_epoch_data(
+    sim: Simulation,
+    adversary: Optional[Adversary],
+    ids: np.ndarray,
+    counts: np.ndarray,
+    t: int,
+    num_classes: int,
+) -> None:
+    """Install this epoch's local data on the given clients.  A
+    label-flipping adversary poisons its local dataset here; every other
+    attack corrupts the upload inside the round instead."""
+    if adversary is None:
+        for k in ids:
+            sim.clients[k].set_data(sim.streams[k].draw(int(counts[k])))
+    else:
+        for k in ids:
+            data = adversary.poison_data(
+                int(k),
+                sim.streams[k].draw(int(counts[k])),
+                t,
+                num_classes,
+            )
+            sim.clients[k].set_data(data)
+
+
 def run_experiment(
     policy: SelectionPolicy,
     config: ExperimentConfig,
     simulation: Optional[Simulation] = None,
     target_accuracy: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
 ) -> ExperimentResult:
-    """Drive ``policy`` through the budget-constrained FL process."""
+    """Drive ``policy`` through the budget-constrained FL process.
+
+    ``heartbeat_s`` (CLI ``repro sim``/``repro run`` progress heartbeat)
+    prints an epoch-throughput line to stderr at most every that many
+    seconds; ``None`` (the default, and under ``--quiet``) stays silent.
+    """
     sim = simulation if simulation is not None else Simulation(config)
     m = config.population.num_clients
     trace = Trace(policy_name=getattr(policy, "name", type(policy).__name__))
@@ -336,46 +369,67 @@ def run_experiment(
         )
     remaining = config.budget
     cumulative_time = 0.0
+    # Flat preallocated per-client state (tau_last / local_losses /
+    # reliability / costs / spend), updated in place every epoch — no
+    # per-client Python objects or reallocation on the hot path.
+    state = sim.population.state_arrays()
     # Prior latency estimate before anything is observed: mean data volume,
     # mean channel, band shared n ways.
     mean_counts = np.full(m, config.data.samples_per_client, dtype=float)
-    tau_last = sim.realized_tau(
-        mean_counts, sim.channel.mean_state(), config.min_participants
+    np.copyto(
+        state.tau_last,
+        sim.realized_tau(
+            mean_counts, sim.channel.mean_state(), config.min_participants
+        ),
     )
-    local_losses = np.full(m, np.nan)
+    counts_buf = np.empty(m, dtype=np.int64)
     stop_reason = "max_epochs"
     final_w = sim.server.w.copy()
     # Per-client reliability (EWMA of "this round produced no rejected or
     # clipped updates"); only maintained — and only surfaced to policies —
     # when a defense aggregator is active, so the default path is unchanged.
-    reliability = np.ones(m)
     track_reliability = sim.defense_spec is not None
     # Hoisted once: the adversary (or its absence) is fixed for the whole
     # run, so the benign path never re-tests it inside per-client loops.
     adversary = sim.adversary
+    # Large-K observability bound: with shard.eval_sample set, data is
+    # installed lazily on contributors plus a freshly sampled evaluation
+    # panel *after* selection (selection never reads client data, and each
+    # client's data stream is an independent RNG, so draw order across
+    # clients does not matter), and the round's loss sweep shrinks to that
+    # panel.  None keeps the exact full-population behaviour.
+    eval_sample = config.shard.eval_sample
+    eval_rng = sim.rng.get("env.eval") if eval_sample is not None else None
+    # Sharded runs aggregate hierarchically (per-shard partial sums, then
+    # a global combine) using the policy's shard labels.
+    shard_of = (
+        policy.plan.shard_of
+        if config.shard.num_shards > 1 and hasattr(policy, "plan")
+        else None
+    )
+    epochs_done = 0
+    run_t0 = time.monotonic()
+    last_beat = run_t0
 
     for t in range(config.max_epochs):
         if tel.enabled:
             tel.set_epoch(t)
         available = sim.availability.sample()
-        costs = sim.prices.step()
-        counts = sim.volumes.sample()
+        costs = sim.prices.step_into(state.costs)
+        counts = sim.volumes.sample_into(counts_buf)
         channel_state = sim.channel.sample()
-        # Install this epoch's local data on available clients.  A
-        # label-flipping adversary poisons its local dataset here; every
-        # other attack corrupts the upload inside the round instead.
-        if adversary is None:
-            for k in np.flatnonzero(available):
-                sim.clients[k].set_data(sim.streams[k].draw(int(counts[k])))
-        else:
-            for k in np.flatnonzero(available):
-                data = adversary.poison_data(
-                    int(k),
-                    sim.streams[k].draw(int(counts[k])),
-                    t,
-                    config.data.num_classes,
-                )
-                sim.clients[k].set_data(data)
+        eval_mask: Optional[np.ndarray] = None
+        if eval_sample is None:
+            # Install this epoch's local data on every available client
+            # (deferred until after selection under eval_sample).
+            _install_epoch_data(
+                sim,
+                adversary,
+                np.flatnonzero(available),
+                counts,
+                t,
+                config.data.num_classes,
+            )
 
         if tel.enabled:
             tel.emit(
@@ -392,10 +446,10 @@ def run_experiment(
             costs=costs,
             remaining_budget=remaining,
             min_participants=config.min_participants,
-            tau_last=tau_last,
-            local_losses=local_losses,
+            tau_last=state.tau_last,
+            local_losses=state.local_losses,
             tau_oracle=tau_oracle,
-            reliability=reliability.copy() if track_reliability else None,
+            reliability=state.reliability.copy() if track_reliability else None,
         )
         with tel.timer("experiment.select"):
             decision: Decision = policy.select(ctx)
@@ -495,6 +549,26 @@ def run_experiment(
             if profile.stochastic:
                 sim_rng = sim.rng.get("sim.runtime")
 
+        if eval_sample is not None:
+            # Sample this epoch's evaluation panel from the available
+            # clients, then lazily install data for exactly the clients
+            # the round will touch: contributors plus the panel.
+            avail_idx = np.flatnonzero(available)
+            eval_mask = np.zeros(m, dtype=bool)
+            n_panel = min(int(eval_sample), int(avail_idx.size))
+            if n_panel > 0:
+                eval_mask[
+                    eval_rng.choice(avail_idx, size=n_panel, replace=False)
+                ] = True
+            _install_epoch_data(
+                sim,
+                adversary,
+                np.flatnonzero(contributors | eval_mask),
+                counts,
+                t,
+                config.data.num_classes,
+            )
+
         with tel.timer("experiment.round"):
             result = run_federated_round(
                 sim.server,
@@ -514,6 +588,8 @@ def run_experiment(
                 adversary=sim.adversary,
                 defense=sim.defense_spec,
                 epoch=t,
+                eval_mask=eval_mask,
+                shard_of=shard_of,
             )
         final_w = result.w
         # Realized latencies: the band was shared by the actual uploaders
@@ -536,9 +612,11 @@ def run_experiment(
             epoch_latency = decision.iterations * float(np.max(tau_real[contributors]))
         remaining -= cost
         cumulative_time += epoch_latency
+        state.charge(sel, costs)
 
-        # Refresh the 0-lookahead observables for the next epoch.
-        tau_last = np.where(available, tau_real, tau_last)
+        # Refresh the 0-lookahead observables for the next epoch (in
+        # place; identical to the old np.where reassignments).
+        state.observe_latency(tau_real, available)
         # The round already swept every available client's loss at the
         # final model for its population loss; reuse instead of recomputing.
         if result.local_losses is not None:
@@ -547,7 +625,7 @@ def run_experiment(
             new_losses = np.full(m, np.nan)
             for k in np.flatnonzero(available):
                 new_losses[k] = sim.clients[k].local_loss(sim.server.w)
-        local_losses = np.where(np.isnan(new_losses), local_losses, new_losses)
+        state.observe_losses(new_losses)
 
         num_failed = int(sel.sum()) - int(survivors.sum())
         if use_des and result.sim is not None:
@@ -566,10 +644,7 @@ def run_experiment(
                     result.defense.rejected + result.defense.clipped
                 ) > 0
                 clean = np.where(flagged, 0.0, 1.0)
-                reliability[contributors] = (
-                    (1.0 - RELIABILITY_EMA) * reliability[contributors]
-                    + RELIABILITY_EMA * clean[contributors]
-                )
+                state.observe_reliability(contributors, clean, RELIABILITY_EMA)
 
         trace.append(
             EpochRecord(
@@ -621,12 +696,36 @@ def run_experiment(
                 epoch_latency=epoch_latency,
             )
         )
+        epochs_done += 1
+        if heartbeat_s is not None:
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_s:
+                rate = epochs_done / max(now - run_t0, 1e-9)
+                print(
+                    f"[repro] epoch {t + 1}/{config.max_epochs} | "
+                    f"{rate:.2f} epochs/s | "
+                    f"budget {remaining:.1f}/{config.budget:.1f} | "
+                    f"acc {result.test_accuracy:.3f}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                last_beat = now
         if target_accuracy is not None and result.test_accuracy >= target_accuracy:
             stop_reason = "target_accuracy"
             break
         # Paper Alg. 1: loop while C >= 0; stop when even the cheapest
-        # feasible epoch cannot be paid.
-        cheapest = np.sort(costs[available])[: config.min_participants].sum()
+        # feasible epoch cannot be paid.  np.partition + small sort avoids
+        # the full O(K log K) sort at large K; the ascending summation
+        # order (and hence the value) is bit-identical to the old
+        # np.sort(...)[:n].sum().
+        avail_costs = costs[available]
+        n_min = config.min_participants
+        if avail_costs.size > n_min:
+            cheapest = np.sort(
+                np.partition(avail_costs, n_min - 1)[:n_min]
+            ).sum()
+        else:
+            cheapest = np.sort(avail_costs).sum()
         if remaining < float(cheapest):
             stop_reason = "budget_exhausted"
             break

@@ -62,6 +62,14 @@ from repro.fl.hierarchy import (
     hierarchical_epoch_latency,
     hierarchical_round,
     kmeans,
+    shard_combine,
+)
+from repro.fl.shard import (
+    ShardPlan,
+    ShardedFedLPolicy,
+    build_shard_plan,
+    decompose_budget,
+    decompose_floor,
 )
 from repro.fl.privacy import (
     DPSpec,
@@ -111,6 +119,12 @@ __all__ = [
     "hierarchical_epoch_latency",
     "hierarchical_round",
     "kmeans",
+    "shard_combine",
+    "ShardPlan",
+    "ShardedFedLPolicy",
+    "build_shard_plan",
+    "decompose_budget",
+    "decompose_floor",
     "DPSpec",
     "PrivacyAccountant",
     "clip_update",

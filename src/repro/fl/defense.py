@@ -262,6 +262,34 @@ def trimmed_mean(
     return ordered[k : n - k].mean(axis=0)
 
 
+#: Row-tile budget for the blocked pairwise-distance computation: the
+#: difference buffer holds at most this many floats (32 MiB of float64),
+#: so Krum never materializes the full (n, n, d) tensor at large
+#: selected-set sizes.
+_KRUM_TILE_FLOATS = 1 << 22
+
+
+def _pairwise_sq_dists(stacked: np.ndarray) -> np.ndarray:
+    """Blocked ``‖u_i − u_j‖²`` matrix.
+
+    Identical output to the monolithic
+    ``einsum("ijk,ijk->ij", diffs, diffs)`` over the full difference
+    tensor — each (i, j) entry is the same elementwise subtract followed
+    by the same k-ordered product sum — computed one fixed-size row tile
+    at a time, so peak memory is O(tile·n·d) instead of O(n²·d).
+    """
+    n, d = stacked.shape
+    rows = max(1, min(n, _KRUM_TILE_FLOATS // max(1, n * d)))
+    sq = np.empty((n, n))
+    buf = np.empty((rows, n, d))
+    for i0 in range(0, n, rows):
+        i1 = min(n, i0 + rows)
+        r = i1 - i0
+        np.subtract(stacked[i0:i1, None, :], stacked[None, :, :], out=buf[:r])
+        np.einsum("ijk,ijk->ij", buf[:r], buf[:r], out=sq[i0:i1])
+    return sq
+
+
 def krum(updates: Sequence[np.ndarray], f: Optional[int] = None) -> np.ndarray:
     """Krum (Blanchard et al. 2017): the single update with the smallest
     summed squared distance to its ``n − f − 2`` nearest neighbors.
@@ -276,8 +304,7 @@ def krum(updates: Sequence[np.ndarray], f: Optional[int] = None) -> np.ndarray:
     f_eff = int(np.ceil(n / 5)) if f is None else int(f)
     if n - f_eff - 2 < 1:
         return np.median(stacked, axis=0)
-    diffs = stacked[:, None, :] - stacked[None, :, :]
-    sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+    sq = _pairwise_sq_dists(stacked)
     np.fill_diagonal(sq, np.inf)
     neighbor_d = np.sort(sq, axis=1)[:, : n - f_eff - 2]
     scores = neighbor_d.sum(axis=1)

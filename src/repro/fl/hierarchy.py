@@ -38,6 +38,7 @@ __all__ = [
     "cluster_clients",
     "hierarchical_epoch_latency",
     "hierarchical_round",
+    "shard_combine",
 ]
 
 
@@ -191,3 +192,35 @@ def hierarchical_round(
         total += cluster_mean * len(members)
         count += len(members)
     return total / count
+
+
+def shard_combine(
+    updates: np.ndarray,
+    weights: np.ndarray,
+    labels: np.ndarray,
+    num_shards: int,
+) -> np.ndarray:
+    """Two-level weighted aggregation: per-shard weighted partial sums,
+    then a global combine over the shard aggregates.
+
+    Mathematically equal to the flat weighted average
+    ``Σ w_i u_i / Σ w_i`` — what changes is the summation structure (each
+    shard reduces its own members first, as an edge aggregator would),
+    property-tested for random shard counts.  Used by the sharded round
+    path where updates arrive grouped by shard.
+    """
+    stacked = np.asarray(updates, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    lab = np.asarray(labels, dtype=np.int64)
+    if stacked.ndim != 2 or stacked.shape[0] != w.size or w.size != lab.size:
+        raise ValueError("need one weight and one shard label per update row")
+    if w.size == 0:
+        raise ValueError("need at least one update")
+    partial = np.zeros((num_shards, stacked.shape[1]))
+    shard_w = np.zeros(num_shards)
+    np.add.at(partial, lab, stacked * w[:, None])
+    np.add.at(shard_w, lab, w)
+    total_w = float(shard_w.sum())
+    if total_w <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return partial.sum(axis=0) / total_w

@@ -32,7 +32,7 @@ client's solve never perturbs another's draw).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.fl.defense import (
     robust_aggregate,
     screen_updates,
 )
+from repro.fl.hierarchy import shard_combine
 from repro.fl.privacy import gaussian_mechanism
 from repro.fl.server import FLServer
 from repro.obs import get_telemetry
@@ -118,6 +119,8 @@ def run_federated_round(
     adversary: "Adversary | None" = None,
     defense: DefenseSpec | None = None,
     epoch: int = 0,
+    eval_mask: np.ndarray | None = None,
+    shard_of: np.ndarray | None = None,
 ) -> RoundResult:
     """Run ``iterations`` global iterations with the given participants.
 
@@ -145,6 +148,15 @@ def run_federated_round(
     the client, ``epoch`` and iteration) and the surviving updates flow
     through the configured robust aggregator.  The no-defense path leaves
     values and aggregation order bit-identical.
+
+    ``eval_mask`` (large-K observability bound) restricts the end-of-round
+    loss sweep to ``available & (eval_mask | selected)`` instead of every
+    available client; ``population_loss`` then estimates F_t from that
+    subsample.  ``None`` keeps the exact full sweep.  ``shard_of`` (per-
+    client shard labels from a :class:`repro.fl.shard.ShardPlan`) switches
+    the mean/weighted aggregation to the two-level hierarchical combine
+    (per-shard partial sums → global combine) — mathematically equal to
+    the flat weighted average, property-tested; only sharded runs pass it.
     """
     if aggregation not in ("uniform", "weighted"):
         raise ValueError(f"unknown aggregation {aggregation!r}")
@@ -212,7 +224,10 @@ def run_federated_round(
 
     # Initial aggregated gradient at the incoming model.
     global_grad = FLServer.aggregate_gradients(participant_grads())
-    eta_by_client: Dict[int, float] = {}
+    # Flat per-client accumulators (no dicts on the hot path): zeros +
+    # greater-than update is exactly the old ``max(prev, eta_hat)`` with a
+    # 0.0 prior, masked to NaN below for clients that never contributed.
+    eta_acc = np.zeros(len(clients))
     ratio_sum = np.zeros(len(clients))
     contrib_counts = np.zeros(len(clients), dtype=int)
     compressed_bits = 0.0
@@ -280,8 +295,8 @@ def run_federated_round(
                 updates.append(d)
                 update_ids.append(client.client_id)
                 contrib_counts[client.client_id] += 1
-                prev = eta_by_client.get(client.client_id, 0.0)
-                eta_by_client[client.client_id] = max(prev, eta_hat)
+                if eta_hat > eta_acc[client.client_id]:
+                    eta_acc[client.client_id] = eta_hat
         with tel.timer("round.aggregate"):
             # Validation gate: with no defense this only *checks* (raising
             # a typed error on non-finite uploads) and passes the original
@@ -304,13 +319,40 @@ def run_federated_round(
                 if not screened.updates:
                     defense_report.empty_iterations += 1
             if defense is None or defense.aggregator in ("mean", "norm-clip"):
-                # The server's own (weighted) average — bit-identical to
-                # the undefended path when nothing was quarantined.
-                server.aggregate_updates(
-                    screened.updates,
-                    num_available=num_available,
-                    sample_counts=screened.sample_counts,
-                )
+                if shard_of is not None and screened.updates:
+                    # Sharded runs combine hierarchically: per-shard
+                    # partial sums, then a global merge.  Weighted runs map
+                    # directly onto shard_combine's weighted average; the
+                    # uniform update is the same mean rescaled to the
+                    # server's normalizer (sum/denom).
+                    labels = shard_of[np.asarray(screened.client_ids)]
+                    num_shards = int(shard_of.max()) + 1
+                    if screened.sample_counts is not None:
+                        w_agg = np.asarray(screened.sample_counts, dtype=float)
+                        delta = shard_combine(
+                            screened.updates, w_agg, labels, num_shards
+                        )
+                    else:
+                        denom = (
+                            len(screened.updates)
+                            if server.normalize_by == "participants"
+                            else max(1, num_available)
+                        )
+                        delta = shard_combine(
+                            screened.updates,
+                            np.ones(len(screened.updates)),
+                            labels,
+                            num_shards,
+                        ) * (len(screened.updates) / denom)
+                    server.apply_delta(delta)
+                else:
+                    # The server's own (weighted) average — bit-identical
+                    # to the undefended path when nothing was quarantined.
+                    server.aggregate_updates(
+                        screened.updates,
+                        num_available=num_available,
+                        sample_counts=screened.sample_counts,
+                    )
             elif screened.updates:
                 server.apply_delta(robust_aggregate(screened.updates, defense))
             if not np.isfinite(server.w).all():
@@ -324,12 +366,18 @@ def run_federated_round(
             )
 
     # Observables.
-    local_etas = np.full(len(clients), np.nan)
-    for cid, eta in eta_by_client.items():
-        local_etas[cid] = eta
+    contributed = contrib_counts > 0
+    local_etas = np.where(contributed, eta_acc, np.nan)
+    eta_max = float(eta_acc[contributed].max())
     # One loss sweep over the available clients feeds the participant loss,
-    # the population loss and the per-client observables.
-    avail_clients = [c for c in clients if avail[c.client_id]]
+    # the population loss and the per-client observables.  With eval_mask
+    # set (large-K runs) the sweep shrinks to the sampled evaluation panel
+    # plus everyone selected; population_loss becomes a panel estimate.
+    if eval_mask is None:
+        sweep = avail
+    else:
+        sweep = avail & (np.asarray(eval_mask, dtype=bool) | sel)
+    avail_clients = [c for c in clients if sweep[c.client_id]]
     if not avail_clients:
         raise ValueError("no available clients to evaluate")
     if batched_engine is not None and BatchedClientEngine.supported(
@@ -338,9 +386,9 @@ def run_federated_round(
         avail_losses = batched_local_losses(server.model, avail_clients, server.w)
     else:
         avail_losses = [c.local_loss(server.w) for c in avail_clients]
-    loss_by_id = {
-        c.client_id: float(v) for c, v in zip(avail_clients, avail_losses)
-    }
+    sweep_ids = np.asarray([c.client_id for c in avail_clients])
+    local_losses = np.full(len(clients), np.nan)
+    local_losses[sweep_ids] = np.asarray(avail_losses, dtype=float)
     # Under DES, clients that never got an upload through did not shape
     # the model — the participant loss weights only actual contributors.
     eval_parts = participants
@@ -353,14 +401,12 @@ def run_federated_round(
     )
     weights = sizes / sizes.sum()
     participant_loss = float(
-        weights @ np.asarray([loss_by_id[c.client_id] for c in eval_parts])
+        weights
+        @ local_losses[np.asarray([c.client_id for c in eval_parts])]
     )
     pop_weights = np.asarray([c.num_samples for c in avail_clients], dtype=float)
     pop_weights /= pop_weights.sum()
     population_loss = float(pop_weights @ np.asarray(avail_losses))
-    local_losses = np.full(len(clients), np.nan)
-    for cid, value in loss_by_id.items():
-        local_losses[cid] = value
     upload_ratio = np.ones(len(clients))
     for c in participants:
         n = int(contrib_counts[c.client_id])
@@ -412,7 +458,7 @@ def run_federated_round(
             data={
                 "iterations": iterations,
                 "participants": len(participants),
-                "eta_max": max(eta_by_client.values()),
+                "eta_max": eta_max,
                 "upload_bits_full": full_bits,
                 "upload_bits_sent": compressed_bits,
                 "engine": (
@@ -430,7 +476,7 @@ def run_federated_round(
         population_loss=population_loss,
         test_accuracy=server.test_accuracy(),
         test_loss=server.test_loss(),
-        eta_max=max(eta_by_client.values()),
+        eta_max=eta_max,
         upload_ratio=upload_ratio,
         local_losses=local_losses,
         completion_time=(

@@ -56,6 +56,7 @@ EVENT_KINDS = (
     "learner.descent",
     "learner.ascent",
     "round.complete",
+    "shard.select",
     "sim.round",
     "sim.client",
     "sweep.start",

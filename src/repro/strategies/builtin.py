@@ -76,7 +76,37 @@ def _build_base(
     return build_strategy(name, config, rng, iterations=iterations)
 
 
-def _fedl(config: ExperimentConfig, rng, p: Dict[str, Any]) -> FedLPolicy:
+def _fedl(config: ExperimentConfig, rng, p: Dict[str, Any]) -> SelectionPolicy:
+    if config.shard.num_shards > 1:
+        # Sharded construction path: every consumer of the registry
+        # (CLI, sweeps, tournaments) gains O(S·(K/S)²) selection
+        # transparently.  num_shards == 1 stays the flat policy below.
+        from repro.fl.shard import ShardedFedLPolicy
+
+        positions = None
+        if config.shard.assignment == "kmeans":
+            # Rebuild the deterministic client layout on a private copy
+            # of the env.population stream (same seed, fresh generator —
+            # the runner's own stream is not perturbed).
+            from repro.env.population import build_population
+            from repro.rng import RngFactory
+
+            positions = build_population(
+                config.population,
+                RngFactory(config.seed).get("env.population"),
+                cell_radius_m=config.network.cell_radius_m,
+            ).positions_m
+        return ShardedFedLPolicy(
+            num_clients=config.population.num_clients,
+            budget=config.budget,
+            min_participants=config.min_participants,
+            theta=config.training.theta,
+            rng=rng,
+            config=config.fedl,
+            cost_range=config.population.cost_range,
+            shard=config.shard,
+            positions=positions,
+        )
     return FedLPolicy(
         num_clients=config.population.num_clients,
         budget=config.budget,

@@ -143,6 +143,50 @@ class TestRegressionGate:
         assert check_regression(slower, tiny_report, strict=True) == []
 
 
+class TestLayerFilter:
+    def test_subset_report_has_only_selected_sections(self):
+        report = run_bench(quick=True, num_clients=8, max_epochs=2, layers=["solver"])
+        assert "solver" in report
+        assert all(k not in report for k in ("fl", "nn", "sim", "scale"))
+        text = format_report(report)
+        assert "[solver]" in text and "[fl]" not in text
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench layer"):
+            run_bench(quick=True, layers=["fl", "mystery"])
+
+    def test_gate_tolerates_missing_sections(self, tiny_report):
+        subset = run_bench(quick=True, num_clients=8, max_epochs=2, layers=["solver"])
+        # A subset run gates only what it measured — absent sections are
+        # neither compared nor treated as exactness breaks.
+        assert check_regression(subset, tiny_report) == []
+
+
+class TestScaleBench:
+    @pytest.fixture(scope="class")
+    def scale(self):
+        from repro.experiments.bench import bench_scale
+
+        return bench_scale(populations=(200,), epochs=2, seed=0)
+
+    def test_single_shard_identical(self, scale):
+        assert scale["single_shard_identical"] is True
+
+    def test_per_population_shape(self, scale):
+        per = scale["per_population"]["200"]
+        assert per["flat_epochs_per_s"] > 0
+        assert per["sharded_epochs_per_s"] > 0
+        assert per["speedup_vs_flat"] > 0
+        assert per["flat_mean_selected"] >= 1
+        assert scale["sharded_epochs_per_s_k200"] == per["sharded_epochs_per_s"]
+
+    def test_identity_break_always_fails_gate(self, scale, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        current["scale"]["single_shard_identical"] = False
+        failures = check_regression(current, tiny_report)
+        assert any("single-shard" in f for f in failures)
+
+
 class TestLayerBenches:
     def test_bench_solver_deterministic_iterations(self):
         a = bench_solver(num_clients=6, horizon=8, seed=1)

@@ -161,6 +161,40 @@ class TestCombiners:
         # n=3, f=1 → n-f-2=0 < 1 → median fallback
         assert krum(ups, f=1)[0] == pytest.approx(1.0)
 
+    def test_blocked_pairwise_matches_monolithic(self):
+        from repro.fl.defense import _pairwise_sq_dists
+
+        rng = np.random.default_rng(5)
+        stacked = rng.normal(size=(37, 19))
+        diffs = stacked[:, None, :] - stacked[None, :, :]
+        reference = np.einsum("ijk,ijk->ij", diffs, diffs)
+        np.testing.assert_array_equal(_pairwise_sq_dists(stacked), reference)
+
+    @pytest.mark.parametrize("tile", [1, 7, 10**9])
+    def test_blocked_pairwise_tile_boundaries(self, tile, monkeypatch):
+        # Force tiny (1 row), partial-final (7 rows over n=10), and
+        # single-pass tiles; output must be invariant to tiling.
+        import repro.fl.defense as defense_mod
+
+        rng = np.random.default_rng(8)
+        stacked = rng.normal(size=(10, 6))
+        reference = defense_mod._pairwise_sq_dists(stacked)
+        monkeypatch.setattr(
+            defense_mod, "_KRUM_TILE_FLOATS", tile * stacked.shape[0] * 6
+        )
+        np.testing.assert_array_equal(
+            defense_mod._pairwise_sq_dists(stacked), reference
+        )
+
+    def test_krum_blocked_equals_unblocked(self, monkeypatch):
+        import repro.fl.defense as defense_mod
+
+        rng = np.random.default_rng(13)
+        ups = [rng.normal(size=40) for _ in range(25)]
+        full = krum(ups, f=3)
+        monkeypatch.setattr(defense_mod, "_KRUM_TILE_FLOATS", 25 * 40 * 2)
+        np.testing.assert_array_equal(krum(ups, f=3), full)
+
     def test_robust_aggregate_rejects_mean(self):
         with pytest.raises(ValueError):
             robust_aggregate([np.ones(2)], DefenseSpec(aggregator="mean"))
