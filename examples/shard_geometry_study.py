@@ -1,0 +1,85 @@
+"""Shard geometry study: kmeans vs contiguous shard assignment.
+
+:func:`repro.fl.shard.build_shard_plan` supports two ways to partition
+the fleet: ``"contiguous"`` (split the id range into blocks — cheap,
+geometry-blind) and ``"kmeans"`` (cluster client positions so shards
+align with the edge-aggregator layout).  Selection quality is identical
+— both are deterministic partitions fed to the same per-shard FedL
+subproblems — but if each shard is served by its own edge aggregator,
+the *physical* epoch latency differs: a contiguous shard scatters its
+members across the whole cell, so its edge server sits far from most of
+them, while a kmeans shard keeps radio links short.
+
+This study prices that gap with the hierarchical latency model from
+:mod:`repro.fl.hierarchy`: each shard becomes one edge cluster (server
+at the shard's position centroid) and we compare the epoch latency of
+random participant sets under both plans.
+
+Usage::
+
+    python examples/shard_geometry_study.py
+"""
+
+import numpy as np
+
+from repro.config import NetworkConfig, PopulationConfig
+from repro.env import build_population
+from repro.fl.hierarchy import Clustering, hierarchical_epoch_latency
+from repro.fl.shard import ShardPlan, build_shard_plan
+from repro.rng import RngFactory
+
+NUM_CLIENTS = 80
+SELECTED = 24
+TRIALS = 30
+
+
+def plan_clustering(plan: ShardPlan, positions: np.ndarray) -> Clustering:
+    """Treat each shard as one edge cluster, server at its centroid."""
+    centroids = np.stack([positions[m].mean(axis=0) for m in plan.members])
+    return Clustering(centroids=centroids, assignments=plan.shard_of)
+
+
+def main() -> None:
+    root = RngFactory(23)
+    cfg = NetworkConfig()
+    pop = build_population(
+        PopulationConfig(num_clients=NUM_CLIENTS), root.get("pop"),
+        cell_radius_m=cfg.cell_radius_m,
+    )
+    tau_loc = np.full(NUM_CLIENTS, 0.002)
+    sel_rng = root.get("sel")
+
+    print("shards   contiguous epoch (ms)   kmeans epoch (ms)   kmeans gain")
+    for num_shards in (2, 4, 8):
+        contiguous = build_shard_plan(NUM_CLIENTS, num_shards)
+        geometric = build_shard_plan(
+            NUM_CLIENTS, num_shards, assignment="kmeans",
+            positions=pop.positions_m, rng=root.fresh(f"km{num_shards}"),
+        )
+        latencies = {"contiguous": [], "kmeans": []}
+        for _ in range(TRIALS):
+            sel = np.zeros(NUM_CLIENTS, bool)
+            sel[sel_rng.choice(NUM_CLIENTS, size=SELECTED, replace=False)] = True
+            for name, plan in (("contiguous", contiguous), ("kmeans", geometric)):
+                latencies[name].append(
+                    hierarchical_epoch_latency(
+                        plan_clustering(plan, pop.positions_m),
+                        pop.positions_m, sel, cfg, tau_loc,
+                    )
+                )
+        cont = float(np.mean(latencies["contiguous"]))
+        km = float(np.mean(latencies["kmeans"]))
+        print(
+            f"{num_shards:6d}   {cont * 1e3:21.2f}   {km * 1e3:17.2f}"
+            f"   {cont / km:10.1f}x"
+        )
+    print()
+    print("Contiguous shards ignore geometry, so each shard's edge server")
+    print("ends up mid-cell with members scattered around it; kmeans shards")
+    print("keep every radio link short and the epoch finishes sooner.  The")
+    print("gap widens with shard count — more servers only help if clients")
+    print("actually sit near their own.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Nine subcommands::
+Ten subcommands::
 
     python -m repro run      --policy FedL --dataset fmnist --budget 600 \
                              [--param KEY=VALUE ...] [--telemetry out/trace]
     python -m repro sim      --policy FedL --aggregation deadline \
                              --deadline 0.05 --faults flaky-uplink \
                              [--telemetry out/trace]
+    python -m repro live     --policy FedL --workers 4 --time-scale 25 \
+                             [--faults stress | --calibrate --out CAL.json]
     python -m repro compare  --dataset fmnist --budget 1200 [--non-iid]
     python -m repro sweep    --dataset fmnist --budgets 300 800 2000 \
                              --seeds 0 1 2 --workers 4 [--telemetry out/trace] \
@@ -41,6 +43,18 @@ and fault profile (stragglers, upload retries, mid-round dropout), and
 ``sim.*`` events.  ``sweep`` accepts the same runtime knobs
 (``--engine des --aggregation ... --faults ...``) so grids can compare
 aggregation policies under faults.
+
+``live`` is ``run`` on the live multi-process runtime (:mod:`repro.
+live`): forked worker processes execute the real local solves and stream
+serialized updates back over sockets through a token-bucket bandwidth
+shaper, so round timelines are *measured* wall clock instead of closed
+form.  It shares ``sim``'s aggregation/fault knobs (one physics, two
+engines) and adds ``--workers``, ``--time-scale``, ``--transport`` and
+``--round-timeout``.  ``live --calibrate`` runs the same scenario
+through the DES and the live runtime per fault profile and prints the
+divergence table (predicted vs measured round latency, barrier fill
+times, drop counts) plus a fault-free live-vs-loop bit-identity verdict;
+``--out`` persists the report JSON.
 
 ``run``/``sim``/``sweep`` also take the robustness knobs
 (``--attack sign-flip --attack-fraction 0.2 --defense trimmed-mean``):
@@ -88,7 +102,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import __version__
-from repro.config import SimConfig
+from repro.config import LiveConfig, SimConfig
 from repro.fl.adversary import ATTACKS
 from repro.fl.defense import AGGREGATORS, CorruptUpdateError, TrainingDivergedError
 from repro.experiments.figures import accuracy_vs_time, run_policy_suite
@@ -104,6 +118,8 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 from repro.experiments.tables import headline_claims
+from repro.live import LiveError, run_calibration
+from repro.live.calibrate import DEFAULT_PROFILES
 from repro.obs import Telemetry, render_trace, use_telemetry
 from repro.rng import RngFactory
 from repro.sim.entities import AGGREGATION_POLICIES
@@ -218,6 +234,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                        help="record sim.* round/client events for "
                        "`repro trace DIR` per-client timelines")
+
+    p_liv = sub.add_parser(
+        "live",
+        help="run one policy on the live multi-process runtime (forked "
+        "workers, real sockets, shaped uploads), or calibrate it "
+        "against the DES",
+    )
+    common(p_liv)
+    scaling(p_liv)
+    p_liv.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
+    p_liv.add_argument("--budget", type=float, default=800.0)
+    p_liv.add_argument("--quick", action="store_true",
+                       help="smoke mode: cap the run at 5 epochs")
+    p_liv.add_argument("--aggregation", default="sync",
+                       choices=list(AGGREGATION_POLICIES),
+                       help="server aggregation policy for each round")
+    p_liv.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="round deadline in simulated seconds (required "
+                       "with --aggregation deadline)")
+    p_liv.add_argument("--quorum", type=int, default=None, metavar="K",
+                       help="aggregate as soon as K updates arrive "
+                       "(required with --aggregation async)")
+    p_liv.add_argument("--faults", default="none",
+                       choices=sorted(FAULT_PROFILES),
+                       help="named fault profile (dropout hazard, upload "
+                       "failures + retries), realized on the wall clock")
+    p_liv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="forked client worker processes (default 2)")
+    p_liv.add_argument("--time-scale", type=float, default=None, metavar="X",
+                       help="wall seconds per simulated second (default 1; "
+                       "--calibrate defaults to 25 so shaped sleeps "
+                       "dominate host overhead)")
+    p_liv.add_argument("--transport", default="unix",
+                       choices=["unix", "tcp"],
+                       help="worker socket transport (default unix "
+                       "socketpair; tcp = loopback TCP)")
+    p_liv.add_argument("--round-timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="wall-clock safety cap per iteration barrier")
+    p_liv.add_argument("--calibrate", action="store_true",
+                       help="run the scenario through DES and live per "
+                       "fault profile and print the divergence table "
+                       "(+ fault-free live-vs-loop bit-identity check)")
+    p_liv.add_argument("--profiles", nargs="+", default=None,
+                       choices=sorted(FAULT_PROFILES),
+                       help="fault profiles for --calibrate "
+                       "(default: none flaky-uplink stress)")
+    p_liv.add_argument("--out", type=str, default=None, metavar="REPORT.json",
+                       help="persist the --calibrate report as JSON")
+    p_liv.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="record live.* round/client events plus the "
+                       "runtime's measured per-client stats files")
 
     p_cmp = sub.add_parser("compare", help="run the four-policy paper suite")
     common(p_cmp)
@@ -709,6 +777,133 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_live_args(args: argparse.Namespace) -> Optional[str]:
+    """Semantic validation of the live-runtime knobs."""
+    if args.workers < 1:
+        return "--workers must be >= 1"
+    if args.time_scale is not None and args.time_scale <= 0:
+        return "--time-scale must be positive"
+    if args.round_timeout <= 0:
+        return "--round-timeout must be positive"
+    if args.out is not None and not args.calibrate:
+        return "--out only applies with --calibrate"
+    if args.profiles is not None and not args.calibrate:
+        return "--profiles only applies with --calibrate"
+    return None
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    error = (
+        _validate_common(args)
+        or _validate_scaling_args(args)
+        or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
+        or _validate_live_args(args)
+    )
+    if error:
+        return _usage_error(error)
+    max_epochs = min(args.epochs, 5) if args.quick else args.epochs
+    time_scale = args.time_scale
+    if time_scale is None:
+        time_scale = 25.0 if args.calibrate else 1.0
+    cfg = experiment_config(
+        dataset=args.dataset,
+        iid=not args.non_iid,
+        budget=args.budget,
+        seed=args.seed,
+        num_clients=args.clients,
+        min_participants=args.participants,
+        max_epochs=max_epochs,
+    )
+    cfg = _scaling_overlay(cfg, args)
+    cfg = dataclasses.replace(
+        cfg,
+        training=dataclasses.replace(cfg.training, engine="live"),
+        sim=SimConfig(
+            aggregation=args.aggregation,
+            deadline_s=args.deadline,
+            quorum=args.quorum,
+            faults=args.faults,
+        ),
+        live=LiveConfig(
+            workers=args.workers,
+            time_scale=time_scale,
+            transport=args.transport,
+            round_timeout_s=args.round_timeout,
+        ),
+    )
+    if args.calibrate:
+        profiles = tuple(args.profiles) if args.profiles else DEFAULT_PROFILES
+        try:
+            report = run_calibration(cfg, policy=args.policy, profiles=profiles)
+        except (LiveError, ParticipationFloorError) as exc:
+            print(f"repro: calibration aborted: {exc}", file=sys.stderr)
+            return 1
+        print(report.render())
+        if args.out:
+            path = report.save(args.out)
+            print(f"saved -> {path}")
+        if report.bit_identical is False:
+            print(
+                "repro: fault-free live run is NOT bit-identical to the "
+                "loop engine",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
+    hub = (
+        Telemetry.for_directory(
+            args.telemetry, run_id=f"{args.policy}[seed={args.seed}]"
+        )
+        if args.telemetry
+        else None
+    )
+    try:
+        with use_telemetry(hub):
+            result = run_experiment(
+                policy, cfg,
+                heartbeat_s=None if args.quiet else HEARTBEAT_S,
+                live_stats_dir=args.telemetry,
+            )
+    except ParticipationFloorError as exc:
+        print(f"repro: live run aborted: {exc}", file=sys.stderr)
+        return 1
+    except LiveError as exc:
+        print(f"repro: live runtime failed: {exc}", file=sys.stderr)
+        return 1
+    except (CorruptUpdateError, TrainingDivergedError) as exc:
+        print(f"repro: training aborted: {exc}", file=sys.stderr)
+        return 1
+    if hub is not None:
+        hub.finalize(
+            meta={
+                "command": "live",
+                "policy": args.policy,
+                "seed": args.seed,
+                "aggregation": args.aggregation,
+                "faults": args.faults,
+                "workers": args.workers,
+                "time_scale": time_scale,
+            }
+        )
+        print(f"telemetry -> {args.telemetry}", file=sys.stderr)
+    tr = result.trace
+    print(
+        f"policy={tr.policy_name} engine=live workers={args.workers} "
+        f"time_scale={time_scale:g} aggregation={args.aggregation} "
+        f"faults={args.faults} epochs={len(tr)} stop={result.stop_reason}"
+    )
+    print(
+        f"final_accuracy={tr.final_accuracy:.4f} "
+        f"measured_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f} "
+        f"failed_clients={sum(r.num_failed for r in tr.records)}"
+    )
+    if args.save:
+        path = save_traces({tr.policy_name: tr}, args.save)
+        print(f"saved -> {path}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     error = _validate_common(args)
     if error:
@@ -1190,6 +1385,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sim": _cmd_sim,
+        "live": _cmd_live,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "tournament": _cmd_tournament,

@@ -26,6 +26,7 @@ __all__ = [
     "DataConfig",
     "TrainingConfig",
     "SimConfig",
+    "LiveConfig",
     "AttackConfig",
     "DefenseConfig",
     "FedLConfig",
@@ -163,7 +164,8 @@ class TrainingConfig:
     local_sgd_steps: int = 10           # max gradient steps j per iteration
                                         # (cap; the η_t target stops earlier)
     engine: str = "auto"                # round execution: "auto" | "loop" |
-                                        # "batched" (bit-identical engines)
+                                        # "batched" (bit-identical engines) |
+                                        # "des" | "live"
     sgd_lr: float = 0.05                # α
     sigma1: float = 1.0                 # DANE proximal weight σ1
     sigma2: float = 1.0                 # DANE gradient-correction weight σ2
@@ -181,7 +183,8 @@ class TrainingConfig:
         _require(self.theta > 0, "theta must be positive")
         _require(self.local_solver in ("dane", "fedprox"), "unknown local_solver")
         _require(
-            self.engine in ("auto", "loop", "batched", "des"), "unknown engine"
+            self.engine in ("auto", "loop", "batched", "des", "live"),
+            "unknown engine",
         )
         _require(0.0 <= self.momentum < 1.0, "momentum in [0,1)")
         _require(self.aggregation in ("uniform", "weighted"), "unknown aggregation")
@@ -237,6 +240,32 @@ class SimConfig:
             self.faults in FAULT_PROFILES,
             f"unknown fault profile (known: {sorted(FAULT_PROFILES)})",
         )
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Live multi-process runtime knobs (``TrainingConfig.engine = "live"``).
+
+    Ignored by every other engine.  The live engine forks ``workers``
+    client processes and *measures* round timelines instead of computing
+    them; ``time_scale`` maps one simulated second to that many wall
+    seconds (0.01 = run 100x faster than the modeled hardware, at the
+    cost of shaping resolution).  Barrier policy and fault profile come
+    from :class:`SimConfig` — the live engine shares the DES's physics.
+    """
+
+    workers: int = 2                    # forked client processes
+    time_scale: float = 1.0             # wall seconds per simulated second
+    transport: str = "unix"             # "unix" socketpair | "tcp" loopback
+    chunk_bytes: int = 16384            # shaped-upload chunk size
+    round_timeout_s: float = 60.0       # wall safety cap per iteration barrier
+
+    def __post_init__(self) -> None:
+        _require(self.workers >= 1, "workers must be >= 1")
+        _require(self.time_scale > 0, "time_scale must be positive")
+        _require(self.transport in ("unix", "tcp"), "unknown live transport")
+        _require(self.chunk_bytes >= 1024, "chunk_bytes must be >= 1024")
+        _require(self.round_timeout_s > 0, "round_timeout_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -379,6 +408,7 @@ class ExperimentConfig:
     data: DataConfig = field(default_factory=DataConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     sim: SimConfig = field(default_factory=SimConfig)
+    live: LiveConfig = field(default_factory=LiveConfig)
     attack: AttackConfig = field(default_factory=AttackConfig)
     defense: DefenseConfig = field(default_factory=DefenseConfig)
     fedl: FedLConfig = field(default_factory=FedLConfig)

@@ -41,6 +41,7 @@ __all__ = [
     "bench_nn_kernels",
     "bench_sim",
     "bench_scale",
+    "bench_live",
     "run_bench",
     "bench_overhead",
     "check_overhead",
@@ -55,11 +56,13 @@ __all__ = [
 # closed-form latency model) — BENCH_PR4.json is the first v2 baseline.
 # v3: adds the "scale" layer (sharded vs flat FedL selection at large K)
 # — BENCH_PR8.json is the first v3 baseline.
-SCHEMA_VERSION = 3
+# v4: adds the "live" layer (multi-process engine overhead vs the loop
+# engine) — BENCH_PR9.json is the first v4 baseline.
+SCHEMA_VERSION = 4
 
 #: Layers ``run_bench`` knows how to run, in execution order; the CLI's
 #: ``--layers`` flag filters this set.
-BENCH_LAYERS = ("fl", "solver", "nn", "sim", "scale")
+BENCH_LAYERS = ("fl", "solver", "nn", "sim", "scale", "live")
 
 #: Ratio metrics gated by :func:`check_regression` regardless of config —
 #: both sides of each ratio are measured in the same process on the same
@@ -400,6 +403,75 @@ def bench_sim(
     }
 
 
+# -- layer 4b: live multi-process engine ---------------------------------------
+
+
+def bench_live(
+    num_clients: int = 8,
+    min_participants: int = 3,
+    epochs: int = 10,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Live-engine transport overhead vs the in-process loop engine.
+
+    Runs the same small experiment through both engines; the quotient is
+    the measured price of real process isolation — fork, per-iteration
+    socket frames, token-bucket-shaped uploads, barrier waits — over the
+    loop engine's in-process arithmetic.  The correctness anchor is the
+    live engine's headline contract: the fault-free live run must train
+    the *bit-identical* model (``exact``; :func:`check_regression` fails
+    when it breaks).
+    """
+    import dataclasses
+
+    from repro.config import LiveConfig
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.scenarios import experiment_config, make_policy
+    from repro.rng import RngFactory
+
+    base = experiment_config(
+        budget=60.0 * epochs,
+        seed=seed,
+        num_clients=num_clients,
+        min_participants=min_participants,
+        max_epochs=epochs,
+    )
+    results: Dict[str, Any] = {}
+    seconds: Dict[str, float] = {}
+    for engine in ("loop", "live"):
+        cfg = base.replace(
+            training=dataclasses.replace(base.training, engine=engine),
+            live=LiveConfig(workers=2),
+        )
+        policy = make_policy(
+            "FedAvg", cfg, RngFactory(cfg.seed).get("cli.policy")
+        )
+        t0 = time.perf_counter()
+        results[engine] = run_experiment(policy, cfg)
+        seconds[engine] = time.perf_counter() - t0
+    rounds = len(results["live"].trace.records)
+    return {
+        "config": {
+            "num_clients": num_clients,
+            "min_participants": min_participants,
+            "epochs": epochs,
+            "seed": seed,
+        },
+        "exact": bool(
+            np.array_equal(results["loop"].final_w, results["live"].final_w)
+        ),
+        "rounds": rounds,
+        "loop_seconds": seconds["loop"],
+        "live_seconds": seconds["live"],
+        "overhead_ratio": (
+            seconds["live"] / seconds["loop"]
+            if seconds["loop"] > 0
+            else float("inf")
+        ),
+        "rounds_per_s": rounds / seconds["live"] if seconds["live"] > 0 else 0.0,
+    }
+
+
 # -- layer 5: population scaling (sharded selection) ---------------------------
 
 
@@ -612,6 +684,8 @@ def run_bench(
             epochs=2 if quick else 3,
             seed=seed,
         )
+    if "live" in selected:
+        report["live"] = bench_live(epochs=4 if quick else 10, seed=seed)
     return report
 
 
@@ -646,6 +720,11 @@ def check_regression(
         failures.append(
             "scale: single-shard sharded policy no longer matches the flat "
             "FedL policy bit-identically"
+        )
+    if "live" in current and not current["live"].get("exact", False):
+        failures.append(
+            "live: fault-free live engine no longer trains a bit-identical "
+            "model to the loop engine"
         )
     if int(baseline.get("schema_version", 0)) != SCHEMA_VERSION:
         failures.append(
@@ -686,6 +765,7 @@ def format_report(report: Dict[str, Any]) -> str:
     nn = report.get("nn")
     sim = report.get("sim")
     scale = report.get("scale")
+    live = report.get("live")
     lines = [
         f"repro bench (schema v{report['schema_version']}"
         + (", quick)" if report.get("quick") else ")"),
@@ -767,6 +847,17 @@ def format_report(report: Dict[str, Any]) -> str:
             f"          single-shard bit-identical to flat: "
             f"{scale['single_shard_identical']}"
         )
+    if live is not None:
+        lines += [
+            "",
+            f"[live]    {live['config']['num_clients']} clients x "
+            f"{live['rounds']} rounds (forked workers, socket frames)",
+            f"          loop {live['loop_seconds']:.3f}s   live "
+            f"{live['live_seconds']:.3f}s "
+            f"({live['rounds_per_s']:.1f} rounds/s)   "
+            f"overhead {live['overhead_ratio']:.1f}x",
+            f"          bit-identical model vs loop: {live['exact']}",
+        ]
     return "\n".join(lines)
 
 

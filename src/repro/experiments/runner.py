@@ -345,14 +345,51 @@ def run_experiment(
     simulation: Optional[Simulation] = None,
     target_accuracy: Optional[float] = None,
     heartbeat_s: Optional[float] = None,
+    live_stats_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Drive ``policy`` through the budget-constrained FL process.
 
     ``heartbeat_s`` (CLI ``repro sim``/``repro run`` progress heartbeat)
     prints an epoch-throughput line to stderr at most every that many
     seconds; ``None`` (the default, and under ``--quiet``) stays silent.
+
+    With ``training.engine = "live"`` the epoch loop runs on a forked
+    worker fleet (:mod:`repro.live`): the fleet is forked once up front —
+    before any client RNG stream is consumed, so worker-side streams stay
+    continuous with the loop engine's — reused across every epoch, and
+    torn down on exit even when the run raises.  ``live_stats_dir``
+    (optional) collects the runtime's measured per-client stats files.
     """
     sim = simulation if simulation is not None else Simulation(config)
+    live_runtime = None
+    if config.training.engine == "live":
+        from repro.live.runtime import LiveRuntime
+
+        live_runtime = LiveRuntime(
+            sim.clients,
+            num_workers=config.live.workers,
+            transport=config.live.transport,
+            chunk_bytes=config.live.chunk_bytes,
+            round_timeout_s=config.live.round_timeout_s,
+            stats_dir=live_stats_dir,
+        )
+    try:
+        return _run_experiment_loop(
+            policy, config, sim, target_accuracy, heartbeat_s, live_runtime
+        )
+    finally:
+        if live_runtime is not None:
+            live_runtime.close()
+
+
+def _run_experiment_loop(
+    policy: SelectionPolicy,
+    config: ExperimentConfig,
+    sim: Simulation,
+    target_accuracy: Optional[float],
+    heartbeat_s: Optional[float],
+    live_runtime,
+) -> ExperimentResult:
     m = config.population.num_clients
     trace = Trace(policy_name=getattr(policy, "name", type(policy).__name__))
     tel = get_telemetry()
@@ -506,13 +543,17 @@ def run_experiment(
         rho_eff = decision.rho if np.isfinite(decision.rho) else float(decision.iterations)
         target_eta = max(0.0, 1.0 - 1.0 / max(rho_eff, 1.0))
 
-        # Event-driven engine: build the network timeline spec from the
-        # same τ components the closed-form latency below uses, so that a
-        # fault-free sync round reproduces epoch_latency bit-exactly.
+        # Event-driven / live engines: build the network timeline spec
+        # from the same τ components the closed-form latency below uses,
+        # so that a fault-free sync round reproduces epoch_latency
+        # bit-exactly (DES) or tracks it up to host overhead (live).
         use_des = config.training.engine == "des"
+        use_live = config.training.engine == "live"
         sim_spec = None
         sim_rng = None
-        if use_des:
+        live_spec = None
+        live_rng = None
+        if use_des or use_live:
             tau_loc_c, tau_cm_c = sim.realized_tau_components(
                 counts,
                 channel_state,
@@ -530,6 +571,7 @@ def run_experiment(
                     dropout_hazard=float(sim.availability.intra_round_hazard()),
                 )
             ids = np.flatnonzero(contributors)
+        if use_des:
             sim_spec = SimRoundSpec(
                 client_ids=ids,
                 tau_loc=tau_loc_c[ids],
@@ -548,6 +590,26 @@ def run_experiment(
             )
             if profile.stochastic:
                 sim_rng = sim.rng.get("sim.runtime")
+        elif use_live:
+            from repro.live.runtime import LiveRoundSpec
+
+            live_spec = LiveRoundSpec(
+                client_ids=ids,
+                tau_loc=tau_loc_c[ids],
+                tau_cm=tau_cm_c[ids],
+                iterations=decision.iterations,
+                aggregation=config.sim.aggregation,
+                deadline_s=config.sim.deadline_s,
+                quorum=config.sim.quorum,
+                faults=profile,
+                min_participants=min(config.min_participants, int(ids.size)),
+                time_scale=config.live.time_scale,
+            )
+            if profile.stochastic:
+                # A dedicated stream: live fault realizations are drawn
+                # with the same machinery but independently of the DES,
+                # so calibration compares two honest samples.
+                live_rng = sim.rng.get("live.faults")
 
         if eval_sample is not None:
             # Sample this epoch's evaluation panel from the available
@@ -569,6 +631,16 @@ def run_experiment(
                 config.data.num_classes,
             )
 
+        live_round = None
+        if use_live:
+            # Ship this epoch's (possibly poisoned) contributor datasets
+            # to the owning workers — the exact arrays the parent-side
+            # clients hold, so worker solves match the loop engine's.
+            live_runtime.install_data(
+                {int(k): sim.clients[k].data for k in ids}
+            )
+            live_round = live_runtime.begin_round(live_spec, live_rng)
+
         with tel.timer("experiment.round"):
             result = run_federated_round(
                 sim.server,
@@ -585,6 +657,7 @@ def run_experiment(
                 engine=config.training.engine,
                 sim_spec=sim_spec,
                 sim_rng=sim_rng,
+                live_round=live_round,
                 adversary=sim.adversary,
                 defense=sim.defense_spec,
                 epoch=t,
@@ -603,10 +676,11 @@ def run_experiment(
             selected=contributors,
             upload_ratio=result.upload_ratio,
         )
-        if use_des:
-            # The simulated timeline realizes the epoch latency directly
-            # (equal to the closed form below when fault-free and sync;
-            # shorter with deadline/async, longer with retries).
+        if use_des or use_live:
+            # The simulated (DES) or measured (live) timeline realizes
+            # the epoch latency directly (equal to the closed form below
+            # when fault-free and sync; shorter with deadline/async,
+            # longer with retries or host overhead).
             epoch_latency = float(result.completion_time)
         else:
             epoch_latency = decision.iterations * float(np.max(tau_real[contributors]))
@@ -630,6 +704,8 @@ def run_experiment(
         num_failed = int(sel.sum()) - int(survivors.sum())
         if use_des and result.sim is not None:
             num_failed += len(result.sim.dropped)
+        if use_live and result.live is not None:
+            num_failed += len(result.live.dropped)
 
         num_quarantined = 0
         if result.defense is not None:
@@ -680,7 +756,7 @@ def run_experiment(
                 },
             )
         feedback_mask = contributors
-        if use_des:
+        if use_des or use_live:
             # Clients the runtime dropped before any upload landed have no
             # observed η̂/τ — don't feed them back as if they participated.
             feedback_mask = contributors & ~np.isnan(result.local_etas)

@@ -27,6 +27,15 @@ faults and deadlines disabled under sync aggregation every contributor
 set is the full participant list and the engine is bit-identical to
 ``"loop"`` (per-client RNG streams are isolated, so skipping one
 client's solve never perturbs another's draw).
+
+The fourth engine, ``"live"``, delegates every local solve to forked
+worker processes (:mod:`repro.live`): each iteration broadcasts
+``(w, ḡ)`` over sockets and the arrivals — real serialized updates that
+survived the shaped upload path — take the place of the in-process
+solves.  Aggregation, DP, compression, adversary and defense all still
+run here in the server process, in ascending-client-id order, so a
+fault-free sync live round is bit-identical to ``"loop"`` while the
+round's *timeline* is measured off the wall clock.
 """
 
 from __future__ import annotations
@@ -48,13 +57,14 @@ from repro.fl.defense import (
 )
 from repro.fl.hierarchy import shard_combine
 from repro.fl.privacy import gaussian_mechanism
+from repro.live.runtime import LiveRound, LiveRoundOutcome
 from repro.fl.server import FLServer
 from repro.obs import get_telemetry
 from repro.sim.entities import RoundOutcome, SimRoundSpec, simulate_round
 
 __all__ = ["RoundResult", "run_federated_round"]
 
-ENGINES = ("auto", "loop", "batched", "des")
+ENGINES = ("auto", "loop", "batched", "des", "live")
 
 
 @dataclass(frozen=True)
@@ -81,6 +91,8 @@ class RoundResult:
                                         # (None for the closed-form engines)
     sim: Optional[RoundOutcome] = None  # DES engine: full round outcome
                                         # (drops, retries, timeline)
+    live: Optional[LiveRoundOutcome] = None     # live engine: measured round
+                                        # outcome (drops, retries, wall times)
     defense: Optional[DefenseRoundReport] = None   # quarantine bookkeeping
                                         # (None when no defense is active)
 
@@ -116,6 +128,7 @@ def run_federated_round(
     engine: str = "auto",
     sim_spec: "SimRoundSpec | None" = None,
     sim_rng: np.random.Generator | None = None,
+    live_round: LiveRound | None = None,
     adversary: "Adversary | None" = None,
     defense: DefenseSpec | None = None,
     epoch: int = 0,
@@ -137,7 +150,10 @@ def run_federated_round(
     the round on the event-driven runtime first — requires ``sim_spec``,
     a :class:`repro.sim.entities.SimRoundSpec` whose ``client_ids`` are
     the selected clients' ids — then train on the simulated per-iteration
-    contributor sets), or ``"auto"``.
+    contributor sets), ``"live"`` (delegate the solves to the forked
+    worker fleet behind ``live_round``, a started
+    :class:`repro.live.runtime.LiveRound`, and train on the *measured*
+    per-iteration arrivals), or ``"auto"``.
 
     ``adversary`` (a :class:`repro.fl.adversary.Adversary`) corrupts
     compromised participants' payloads after DP/compression — the
@@ -164,6 +180,15 @@ def run_federated_round(
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "des" and sim_spec is None:
         raise ValueError("engine='des' requires a sim_spec")
+    if engine == "live" and live_round is None:
+        raise ValueError("engine='live' requires a live_round")
+    if engine == "live" and dp_spec is not None and dp_rng is None:
+        # Per-client RNG streams live in the forked workers; drawing DP
+        # noise from the parent-side stream would silently diverge from
+        # the loop engine's draw order.
+        raise ValueError("engine='live' with DP requires a dedicated dp_rng")
+    if engine != "live":
+        live_round = None
     sel = np.asarray(selected_mask, dtype=bool)
     avail = np.asarray(available_mask, dtype=bool)
     if sel.shape != avail.shape or sel.size != len(clients):
@@ -175,6 +200,14 @@ def run_federated_round(
         raise ValueError("at least one client must be selected")
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    if live_round is not None:
+        spec_ids = {int(i) for i in live_round.spec.client_ids}
+        if spec_ids != {c.client_id for c in participants}:
+            raise ValueError(
+                "live_round.spec.client_ids must match the selected clients"
+            )
+        if live_round.spec.iterations != iterations:
+            raise ValueError("live_round.spec.iterations must match iterations")
     batched_engine: Optional[BatchedClientEngine] = None
     if engine in ("auto", "batched"):
         supported = BatchedClientEngine.supported(server.model, participants)
@@ -233,6 +266,7 @@ def run_federated_round(
     compressed_bits = 0.0
     full_bits = 0.0
     prev_global_delta: np.ndarray | None = None
+    client_by_id = {c.client_id: c for c in participants}
     for it in range(iterations):
         if contrib_sets is None:
             iter_parts = participants
@@ -250,6 +284,22 @@ def run_federated_round(
         updates: List[np.ndarray] = []
         update_ids: List[int] = []
         with tel.timer("round.local_solve"):
+            live_solves = None
+            if live_round is not None:
+                # The barrier wait *is* the solve time: workers run the
+                # real DANE solves and ship back serialized updates;
+                # arrivals come sorted by client id, so the aggregation
+                # order below matches the loop engine's.
+                arrivals = live_round.run_iteration(
+                    it, w_broadcast, global_grad, target_eta=target_eta
+                )
+                iter_parts = [client_by_id[cid] for cid, _, _ in arrivals]
+                iter_counts = (
+                    [c.num_samples for c in iter_parts]
+                    if aggregation == "weighted"
+                    else None
+                )
+                live_solves = {cid: (d, eta) for cid, d, eta in arrivals}
             solves = (
                 batched_engine.train_iteration_all(
                     w_broadcast, global_grad, target_eta=target_eta
@@ -258,7 +308,9 @@ def run_federated_round(
                 else None
             )
             for pos, client in enumerate(iter_parts):
-                if solves is not None:
+                if live_solves is not None:
+                    d, eta_hat = live_solves[client.client_id]
+                elif solves is not None:
                     d, eta_hat, _ = solves[pos]
                 else:
                     d, eta_hat, _ = client.train_iteration(
@@ -365,6 +417,11 @@ def run_federated_round(
                 participant_grads(iter_parts)
             )
 
+    live_outcome = live_round.finish() if live_round is not None else None
+    if live_outcome is not None and tel.enabled:
+        _emit_live_telemetry(tel, live_round.spec, live_outcome)
+    dynamic = contrib_sets is not None or live_outcome is not None
+
     # Observables.
     contributed = contrib_counts > 0
     local_etas = np.where(contributed, eta_acc, np.nan)
@@ -389,13 +446,14 @@ def run_federated_round(
     sweep_ids = np.asarray([c.client_id for c in avail_clients])
     local_losses = np.full(len(clients), np.nan)
     local_losses[sweep_ids] = np.asarray(avail_losses, dtype=float)
-    # Under DES, clients that never got an upload through did not shape
-    # the model — the participant loss weights only actual contributors.
+    # Under DES/live, clients that never got an upload through did not
+    # shape the model — the participant loss weights only actual
+    # contributors.
     eval_parts = participants
-    if contrib_sets is not None:
+    if dynamic:
         eval_parts = [c for c in participants if contrib_counts[c.client_id] > 0]
     sizes = np.asarray(
-        part_sizes if contrib_sets is None
+        part_sizes if not dynamic
         else [c.num_samples for c in eval_parts],
         dtype=float,
     )
@@ -462,8 +520,8 @@ def run_federated_round(
                 "upload_bits_full": full_bits,
                 "upload_bits_sent": compressed_bits,
                 "engine": (
-                    "des"
-                    if engine == "des"
+                    engine
+                    if engine in ("des", "live")
                     else ("batched" if batched_engine is not None else "loop")
                 ),
             },
@@ -480,11 +538,61 @@ def run_federated_round(
         upload_ratio=upload_ratio,
         local_losses=local_losses,
         completion_time=(
-            outcome.completion_time if outcome is not None else None
+            outcome.completion_time
+            if outcome is not None
+            else (
+                live_outcome.completion_time
+                if live_outcome is not None
+                else None
+            )
         ),
         sim=outcome,
+        live=live_outcome,
         defense=defense_report,
     )
+
+
+def _emit_live_telemetry(tel, spec, outcome) -> None:
+    """Publish the measured round through the telemetry hub (``live.*``).
+
+    Measured wall-clock quantities ride in the ``dur`` slot so they land
+    in the event's ``ts`` block, keeping canonical telemetry lines
+    comparable across runs (the PR2 isolation rule).
+    """
+    scale = spec.time_scale
+    tel.counter("live.retries", outcome.num_retries)
+    tel.counter("live.drops", len(outcome.dropped))
+    tel.counter("live.deadline_hits", outcome.deadline_hits)
+    tel.emit(
+        "live.round",
+        data={
+            "iterations": spec.iterations,
+            "aggregation": spec.aggregation,
+            "deadline_s": spec.deadline_s,
+            "quorum": spec.quorum,
+            "time_scale": scale,
+            "participants": int(len(spec.client_ids)),
+            "survivors": int(len(outcome.survivors)),
+            "dropped": {str(k): v for k, v in outcome.dropped.items()},
+            "retries": outcome.num_retries,
+            "deadline_hits": outcome.deadline_hits,
+        },
+        dur=outcome.completion_time * scale,
+    )
+    for cid in spec.client_ids:
+        cid = int(cid)
+        offsets = outcome.arrival_offsets.get(cid, [])
+        tel.emit(
+            "live.client",
+            data={
+                "client": cid,
+                "status": outcome.dropped.get(cid, "ok"),
+                "contributions": int(
+                    sum(1 for ids in outcome.contributors if cid in ids)
+                ),
+            },
+            dur=float(sum(offsets)) * scale,
+        )
 
 
 def _emit_sim_telemetry(tel, spec: SimRoundSpec, outcome: RoundOutcome) -> None:

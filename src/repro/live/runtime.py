@@ -1,0 +1,633 @@
+"""Server side of the live engine: forked workers, barriers, measurement.
+
+:class:`LiveRuntime` forks ``workers`` processes once per experiment
+(PR1 fork infrastructure: the children inherit the parent's
+:class:`~repro.fl.client.FLClient` objects, so per-client RNG streams
+stay continuous across epochs) and keeps one framed socket per worker.
+:class:`LiveRound` then plays one federated round over those sockets:
+
+* ``run_iteration`` broadcasts ``(w, ḡ)`` to every active participant,
+  multiplexes the worker sockets while shaped uploads trickle back, and
+  closes the barrier per the aggregation policy — ``sync`` waits for all
+  survivors, ``deadline`` drops stragglers at ``deadline_s`` (scaled to
+  wall time), ``async`` cancels in-flight uploads once ``quorum`` have
+  landed.  Stale frames from cancelled iterations are discarded by
+  iteration tag.
+* every instant is *measured* wall clock, converted back to simulated
+  seconds through ``time_scale``; the outcome mirrors
+  :class:`repro.sim.entities.RoundOutcome` so the DES and the live
+  engine are directly comparable (see :mod:`repro.live.calibrate`).
+
+Fault realizations (dropout instants, upload-failure seeds) are drawn
+server-side from a dedicated RNG stream using the *same*
+:mod:`repro.sim.faults` machinery as the DES, then shipped to workers —
+identical physics, independent draws.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.live.protocol import FrameStream, socket_pair, tcp_pair
+from repro.nn.serialization import decode_payload
+from repro.sim.entities import AGGREGATION_POLICIES
+from repro.sim.faults import (
+    FaultProfile,
+    ParticipationFloorError,
+    SimError,
+    sample_dropout_times,
+)
+
+if TYPE_CHECKING:  # import would cycle through repro.fl.__init__
+    from repro.fl.client import FLClient
+
+__all__ = [
+    "LiveError",
+    "LiveRoundTimeout",
+    "LiveRoundSpec",
+    "LiveRoundOutcome",
+    "LiveRound",
+    "LiveRuntime",
+    "atomic_write_json",
+]
+
+
+class LiveError(SimError):
+    """Live-runtime failure (worker died, protocol violation, ...)."""
+
+
+class LiveRoundTimeout(LiveError):
+    """A barrier did not close within the wall-clock safety timeout."""
+
+
+def atomic_write_json(path: Path, obj) -> Path:
+    """Crash-safe JSON write: temp file in the same directory, then an
+    atomic rename — a crash mid-serialization or mid-write leaves the
+    old file (if any) intact and no temp litter behind."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(
+            json.dumps(obj, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+@dataclass(frozen=True)
+class LiveRoundSpec:
+    """Everything the live runtime needs to play one federated round.
+
+    The physics fields mirror :class:`repro.sim.entities.SimRoundSpec`
+    exactly; ``time_scale`` maps simulated seconds to wall seconds
+    (2.0 = the round runs at half speed, twice the shaping headroom).
+    """
+
+    client_ids: np.ndarray
+    tau_loc: np.ndarray
+    tau_cm: np.ndarray
+    iterations: int
+    aggregation: str = "sync"
+    deadline_s: Optional[float] = None
+    quorum: Optional[int] = None
+    faults: FaultProfile = field(default_factory=FaultProfile)
+    min_participants: int = 1
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.client_ids, dtype=int)
+        loc = np.asarray(self.tau_loc, dtype=float)
+        cm = np.asarray(self.tau_cm, dtype=float)
+        object.__setattr__(self, "client_ids", ids)
+        object.__setattr__(self, "tau_loc", loc)
+        object.__setattr__(self, "tau_cm", cm)
+        if ids.ndim != 1 or ids.size < 1:
+            raise ValueError("need at least one participant")
+        if loc.shape != ids.shape or cm.shape != ids.shape:
+            raise ValueError("tau arrays must match client_ids shape")
+        if np.any(~np.isfinite(loc)) or np.any(loc < 0):
+            raise ValueError("tau_loc must be finite and nonnegative")
+        if np.any(~np.isfinite(cm)) or np.any(cm < 0):
+            raise ValueError("tau_cm must be finite and nonnegative")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.aggregation not in AGGREGATION_POLICIES:
+            raise ValueError(f"unknown aggregation policy {self.aggregation!r}")
+        if self.aggregation == "deadline":
+            if self.deadline_s is None or self.deadline_s <= 0:
+                raise ValueError("deadline aggregation needs deadline_s > 0")
+        if self.aggregation == "async":
+            if self.quorum is None or self.quorum < 1:
+                raise ValueError("async aggregation needs quorum >= 1")
+        if self.min_participants < 1:
+            raise ValueError("min_participants must be >= 1")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+
+
+@dataclass
+class LiveRoundOutcome:
+    """What one live round measured (sim-seconds, i.e. wall/time_scale)."""
+
+    completion_time: float                  # measured d(E_t)
+    iteration_durations: List[float]        # measured barrier widths
+    contributors: List[np.ndarray]          # per-iteration arrived ids
+    dropped: Dict[int, str]                 # client id -> drop reason
+    num_retries: int
+    deadline_hits: int
+    arrival_offsets: Dict[int, List[float]]  # id -> measured per-iteration
+                                             # broadcast→upload offsets
+    solve_wall_s: Dict[int, float]           # id -> summed real solve time
+
+    @property
+    def survivors(self) -> np.ndarray:
+        if not self.contributors:  # pragma: no cover - defensive
+            return np.zeros(0, dtype=int)
+        return self.contributors[-1]
+
+
+class LiveRound:
+    """Barrier/measurement logic for one round on a started runtime."""
+
+    def __init__(
+        self,
+        runtime: "LiveRuntime",
+        spec: LiveRoundSpec,
+        rng: Optional[np.random.Generator],
+    ) -> None:
+        if spec.faults.stochastic and rng is None:
+            raise ValueError("a fault RNG is required for stochastic fault profiles")
+        if len(spec.client_ids) < spec.min_participants:
+            raise ParticipationFloorError(
+                len(spec.client_ids), spec.min_participants, "initial selection"
+            )
+        self.runtime = runtime
+        self.spec = spec
+        self.round_index = runtime.rounds_started
+        runtime.rounds_started += 1
+        self.active: set = {int(c) for c in spec.client_ids}
+        self.dropped: Dict[int, str] = {}
+        self.num_retries = 0
+        self.deadline_hits = 0
+        self.durations: List[float] = []
+        self.contributors: List[np.ndarray] = []
+        self.arrival_offsets: Dict[int, List[float]] = {}
+        self.solve_wall_s: Dict[int, float] = {}
+        self.iteration = -1
+        self._round_t0: Optional[float] = None
+        self._iter_t0 = 0.0
+        self._arrived: Dict[int, Tuple[np.ndarray, float]] = {}
+        self._buffers: Dict[int, bytearray] = {}
+        self._cancel_sent = False
+        # Fault plan, drawn with the same machinery the DES uses (dropout
+        # first, then upload seeds — a fixed drain order for the stream).
+        faults = spec.faults
+        horizon = float(
+            spec.iterations * np.max(spec.tau_loc + spec.tau_cm)
+        )
+        drop_after = sample_dropout_times(
+            len(spec.client_ids), faults.dropout_hazard, horizon, rng
+        )
+        if faults.upload_failure_prob > 0.0:
+            seeds = rng.integers(0, 2**63, size=len(spec.client_ids))
+        else:
+            seeds = np.zeros(len(spec.client_ids), dtype=np.int64)
+        self._drop_after = drop_after
+        self._upload_seeds = seeds
+
+    # -- worker-facing messages --------------------------------------------------
+
+    def _send_round_setup(self, target_eta: Optional[float]) -> None:
+        spec = self.spec
+        meta = {
+            "cmd": "round",
+            "round": self.round_index,
+            "iterations": spec.iterations,
+            "time_scale": spec.time_scale,
+            "clients": [int(c) for c in spec.client_ids],
+            "upload_failure_prob": spec.faults.upload_failure_prob,
+            "max_retries": spec.faults.max_retries,
+            "retry_backoff_s": spec.faults.retry_backoff_s,
+            "target_eta": target_eta,
+        }
+        arrays = {
+            "tau_loc": spec.tau_loc,
+            "tau_cm": spec.tau_cm,
+            "drop_after": self._drop_after,
+            "upload_seeds": self._upload_seeds,
+        }
+        for stream in self.runtime.streams:
+            stream.send(meta, arrays)
+
+    def run_iteration(
+        self,
+        iteration: int,
+        w: np.ndarray,
+        global_grad: np.ndarray,
+        target_eta: Optional[float] = None,
+    ) -> List[Tuple[int, np.ndarray, float]]:
+        """Broadcast, wait for the barrier, return arrivals sorted by id.
+
+        Each arrival is ``(client_id, d, eta_hat)`` — the worker's real
+        solve output, bit-identical to what the loop engine would have
+        computed in the parent.
+        """
+        if iteration != self.iteration + 1:
+            raise LiveError(
+                f"iterations must run in order (got {iteration}, "
+                f"expected {self.iteration + 1})"
+            )
+        self.iteration = iteration
+        if iteration == 0:
+            self._send_round_setup(target_eta)
+        self._arrived = {}
+        self._buffers = {}
+        self._cancel_sent = False
+        active_list = sorted(self.active)
+        meta = {
+            "cmd": "iter",
+            "round": self.round_index,
+            "iteration": iteration,
+            "clients": active_list,
+        }
+        arrays = {"w": np.asarray(w, dtype=float), "g": np.asarray(global_grad, dtype=float)}
+        self._iter_t0 = time.monotonic()
+        if self._round_t0 is None:
+            self._round_t0 = self._iter_t0
+        for stream in self.runtime.streams:
+            stream.send(meta, arrays)
+        self._wait_barrier()
+        close_wall = time.monotonic()
+        self.durations.append((close_wall - self._iter_t0) / self.spec.time_scale)
+        ids = np.asarray(sorted(self._arrived), dtype=int)
+        self.contributors.append(ids)
+        self._completion_wall = close_wall
+        return [
+            (int(cid), self._arrived[cid][0], float(self._arrived[cid][1]))
+            for cid in ids
+        ]
+
+    # -- barrier -----------------------------------------------------------------
+
+    def _barrier_met(self) -> bool:
+        spec = self.spec
+        if spec.aggregation == "async" and len(self._arrived) >= int(spec.quorum):
+            return True
+        return all(cid in self._arrived for cid in self.active)
+
+    def _wait_barrier(self) -> None:
+        spec = self.spec
+        runtime = self.runtime
+        hard_deadline = self._iter_t0 + runtime.round_timeout_s
+        soft_deadline = None
+        if spec.aggregation == "deadline":
+            soft_deadline = self._iter_t0 + float(spec.deadline_s) * spec.time_scale
+        while not self._barrier_met():
+            now = time.monotonic()
+            if now >= hard_deadline:
+                self._send_cancel()
+                raise LiveRoundTimeout(
+                    f"barrier for iteration {self.iteration} did not close "
+                    f"within {runtime.round_timeout_s:.0f}s "
+                    f"(arrived {sorted(self._arrived)}, active {sorted(self.active)})"
+                )
+            timeout = hard_deadline - now
+            if soft_deadline is not None:
+                if now >= soft_deadline:
+                    self._close_by_deadline()
+                    continue
+                timeout = min(timeout, soft_deadline - now)
+            runtime.pump(timeout, self._dispatch)
+        if spec.aggregation == "async" and not self._cancel_sent:
+            # Quorum reached with uploads still in flight: cancel them
+            # (their stale updates are discarded); the clients stay in
+            # the round.
+            if any(cid not in self._arrived for cid in self.active):
+                self._send_cancel()
+
+    def _close_by_deadline(self) -> None:
+        stragglers = [c for c in self.active if c not in self._arrived]
+        if not stragglers:  # pragma: no cover - barrier_met would have fired
+            return
+        self.deadline_hits += 1
+        self._send_cancel()
+        for cid in stragglers:
+            self._drop_client(cid, "deadline")
+
+    def _send_cancel(self) -> None:
+        if self._cancel_sent:
+            return
+        self._cancel_sent = True
+        meta = {"cmd": "cancel", "round": self.round_index, "iteration": self.iteration}
+        for stream in self.runtime.streams:
+            stream.send(meta)
+
+    def _drop_client(self, cid: int, reason: str) -> None:
+        if cid not in self.active:
+            return
+        self.active.discard(cid)
+        self._buffers.pop(cid, None)
+        self.dropped[cid] = reason
+        survivors = len(self.active)
+        if survivors < self.spec.min_participants:
+            self._send_cancel()
+            raise ParticipationFloorError(
+                survivors, self.spec.min_participants, reason
+            )
+
+    # -- frame dispatch ----------------------------------------------------------
+
+    def _dispatch(self, meta: Dict, arrays: Dict) -> None:
+        cmd = meta.get("cmd")
+        if cmd == "chunk":
+            self._on_chunk(meta, arrays)
+        elif cmd == "drop":
+            self._drop_client(int(meta["client"]), str(meta["reason"]))
+        elif cmd == "retry":
+            self.num_retries += 1
+        elif cmd == "error":
+            raise LiveError(
+                f"worker error for client {meta.get('client')}: {meta.get('error')}"
+            )
+        elif cmd == "ok":
+            # Stale ack (install handshakes are pumped separately).
+            pass
+        else:
+            raise LiveError(f"unexpected frame from worker: {cmd!r}")
+
+    def _on_chunk(self, meta: Dict, arrays: Dict) -> None:
+        cid = int(meta["client"])
+        if int(meta["iteration"]) != self.iteration or self._cancel_sent:
+            return  # stale or post-barrier frame: discard
+        if cid not in self.active or cid in self._arrived:
+            return
+        buf = self._buffers.setdefault(cid, bytearray())
+        buf.extend(arrays["part"].tobytes())
+        if not meta["last"]:
+            return
+        payload_meta, payload = decode_payload(bytes(self._buffers.pop(cid)))
+        offset_wall = time.monotonic() - self._iter_t0
+        d = payload["d"]
+        eta = float(payload["eta"])
+        self._arrived[cid] = (d, eta)
+        self.arrival_offsets.setdefault(cid, []).append(
+            offset_wall / self.spec.time_scale
+        )
+        self.solve_wall_s[cid] = self.solve_wall_s.get(cid, 0.0) + float(
+            payload["solve_wall"]
+        )
+
+    # -- outcome -----------------------------------------------------------------
+
+    def finish(self) -> LiveRoundOutcome:
+        if self.iteration + 1 != self.spec.iterations:
+            raise LiveError(
+                f"round finished after {self.iteration + 1} of "
+                f"{self.spec.iterations} iterations"
+            )
+        completion = (self._completion_wall - self._round_t0) / self.spec.time_scale
+        outcome = LiveRoundOutcome(
+            completion_time=float(completion),
+            iteration_durations=list(self.durations),
+            contributors=list(self.contributors),
+            dropped=dict(self.dropped),
+            num_retries=self.num_retries,
+            deadline_hits=self.deadline_hits,
+            arrival_offsets={k: list(v) for k, v in self.arrival_offsets.items()},
+            solve_wall_s=dict(self.solve_wall_s),
+        )
+        self.runtime.record_round(self.spec, outcome)
+        return outcome
+
+
+class LiveRuntime:
+    """Worker fleet lifecycle + per-client measured statistics."""
+
+    def __init__(
+        self,
+        clients: Sequence[FLClient],
+        num_workers: int = 2,
+        transport: str = "unix",
+        chunk_bytes: int = 16384,
+        round_timeout_s: float = 60.0,
+        stats_dir: Optional[str | Path] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if transport not in ("unix", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if chunk_bytes < 1024:
+            raise ValueError("chunk_bytes must be >= 1024")
+        if round_timeout_s <= 0:
+            raise ValueError("round_timeout_s must be positive")
+        self.clients = list(clients)
+        if not self.clients:
+            raise ValueError("need at least one client")
+        self.num_workers = min(int(num_workers), len(self.clients))
+        self.transport = transport
+        self.chunk_bytes = chunk_bytes
+        self.round_timeout_s = round_timeout_s
+        self.stats_dir = Path(stats_dir) if stats_dir is not None else None
+        self.streams: List[FrameStream] = []
+        self._pids: List[int] = []
+        self._selector: Optional[selectors.BaseSelector] = None
+        self.rounds_started = 0
+        self._client_stats: Dict[int, Dict] = {}
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def owner_of(self, cid: int) -> int:
+        """Worker index owning client ``cid`` (fixed modulo partition)."""
+        return cid % self.num_workers
+
+    def ensure_started(self) -> None:
+        """Fork the workers (idempotent).  Must happen before any client
+        RNG stream is consumed in the parent, i.e. before the first
+        round — the fork snapshot is what keeps worker-side streams
+        continuous with the loop engine's."""
+        if self._started:
+            return
+        if self._closed:
+            raise LiveError("runtime already closed")
+        from repro.live.worker import worker_main
+
+        make_pair = socket_pair if self.transport == "unix" else tcp_pair
+        pairs = [make_pair() for _ in range(self.num_workers)]
+        for idx in range(self.num_workers):
+            owned = {
+                c.client_id: c
+                for c in self.clients
+                if self.owner_of(c.client_id) == idx
+            }
+            pid = os.fork()
+            if pid == 0:
+                # Child: keep only this worker's end of this pair.
+                for j, (parent_end, child_end) in enumerate(pairs):
+                    parent_end.close()
+                    if j != idx:
+                        child_end.close()
+                worker_main(pairs[idx][1], owned, chunk_bytes=self.chunk_bytes)
+                raise AssertionError("worker_main returned")  # pragma: no cover
+            self._pids.append(pid)
+        self._selector = selectors.DefaultSelector()
+        for parent_end, child_end in pairs:
+            child_end.close()
+            stream = FrameStream(parent_end)
+            self.streams.append(stream)
+            self._selector.register(stream.sock, selectors.EVENT_READ, stream)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop and reap the workers; flush per-client stats files."""
+        if self._closed:
+            return
+        self._closed = True
+        for stream in self.streams:
+            try:
+                stream.send({"cmd": "stop"})
+            except OSError:
+                pass
+        for stream in self.streams:
+            stream.close()
+        if self._selector is not None:
+            self._selector.close()
+        deadline = time.monotonic() + 5.0
+        for pid in self._pids:
+            while True:
+                try:
+                    done, _ = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    break
+                if done:
+                    break
+                if time.monotonic() > deadline:
+                    os.kill(pid, signal.SIGKILL)
+                    os.waitpid(pid, 0)
+                    break
+                time.sleep(0.01)
+        if self.stats_dir is not None:
+            self.write_client_stats(self.stats_dir)
+
+    def __enter__(self) -> "LiveRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- socket pump -------------------------------------------------------------
+
+    def pump(self, timeout: float, handler) -> None:
+        """Read every available frame (≤ one per worker per call) and
+        feed it to ``handler(meta, arrays)``; waits at most ``timeout``."""
+        for key, _ in self._selector.select(timeout=max(timeout, 0.0)):
+            stream: FrameStream = key.data
+            frame = stream.recv()
+            if frame is None:
+                raise LiveError("a worker closed its socket unexpectedly")
+            handler(*frame)
+
+    # -- data distribution -------------------------------------------------------
+
+    def install_data(self, datasets: Dict[int, "Dataset"]) -> None:
+        """Ship this epoch's local datasets to the owning workers."""
+        self.ensure_started()
+        per_worker: Dict[int, List[int]] = {}
+        for cid in datasets:
+            per_worker.setdefault(self.owner_of(cid), []).append(cid)
+        expect = 0
+        for widx, cids in per_worker.items():
+            arrays = {}
+            for cid in cids:
+                data = datasets[cid]
+                arrays[f"x{cid}"] = data.x
+                arrays[f"y{cid}"] = data.y
+            self.streams[widx].send(
+                {"cmd": "install", "clients": sorted(cids)}, arrays
+            )
+            expect += 1
+        acks = [0]
+
+        def on_frame(meta, arrays):
+            if meta.get("cmd") == "ok" and meta.get("re") == "install":
+                acks[0] += 1
+            # Anything else here is a stale frame from a cancelled
+            # iteration; discard.
+
+        deadline = time.monotonic() + self.round_timeout_s
+        while acks[0] < expect:
+            if time.monotonic() > deadline:
+                raise LiveRoundTimeout("workers did not acknowledge data install")
+            self.pump(0.1, on_frame)
+
+    # -- rounds ------------------------------------------------------------------
+
+    def begin_round(
+        self, spec: LiveRoundSpec, rng: Optional[np.random.Generator] = None
+    ) -> LiveRound:
+        self.ensure_started()
+        return LiveRound(self, spec, rng)
+
+    # -- measured per-client statistics ------------------------------------------
+
+    def record_round(self, spec: LiveRoundSpec, outcome: LiveRoundOutcome) -> None:
+        for pos, cid in enumerate(spec.client_ids):
+            cid = int(cid)
+            stats = self._client_stats.setdefault(
+                cid,
+                {
+                    "client": cid,
+                    "rounds": 0,
+                    "contributions": 0,
+                    "drops": {},
+                    "solve_wall_s": 0.0,
+                    "arrival_offset_s_sum": 0.0,
+                    "arrivals": 0,
+                    "predicted_tau_s_sum": 0.0,
+                },
+            )
+            stats["rounds"] += 1
+            stats["contributions"] += int(
+                sum(1 for ids in outcome.contributors if cid in ids)
+            )
+            if cid in outcome.dropped:
+                reason = outcome.dropped[cid]
+                stats["drops"][reason] = stats["drops"].get(reason, 0) + 1
+            stats["solve_wall_s"] += float(outcome.solve_wall_s.get(cid, 0.0))
+            offsets = outcome.arrival_offsets.get(cid, [])
+            stats["arrival_offset_s_sum"] += float(sum(offsets))
+            stats["arrivals"] += len(offsets)
+            stats["predicted_tau_s_sum"] += float(
+                spec.tau_loc[pos] + spec.tau_cm[pos]
+            ) * len(offsets)
+
+    def write_client_stats(self, directory: str | Path) -> List[Path]:
+        """Atomically persist one ``live_client_<id>.json`` per client
+        that participated in any round (temp file + rename)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for cid in sorted(self._client_stats):
+            paths.append(
+                atomic_write_json(
+                    directory / f"live_client_{cid}.json",
+                    self._client_stats[cid],
+                )
+            )
+        return paths

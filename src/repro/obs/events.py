@@ -59,6 +59,8 @@ EVENT_KINDS = (
     "shard.select",
     "sim.round",
     "sim.client",
+    "live.round",
+    "live.client",
     "sweep.start",
     "sweep.job",
     "sweep.worker",

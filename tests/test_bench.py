@@ -56,6 +56,13 @@ class TestReportStructure:
         assert sim["events_per_round"] > 0
         assert sim["faulted_retries"] > 0  # the flaky arm exercised retries
 
+    def test_live_section_is_bit_identical(self, tiny_report):
+        live = tiny_report["live"]
+        assert live["exact"] is True
+        assert live["rounds"] > 0
+        assert live["live_seconds"] > 0
+        assert live["overhead_ratio"] > 0
+
     def test_format_report_renders(self, tiny_report):
         text = format_report(tiny_report)
         assert "bit-identical results: True" in text

@@ -143,6 +143,53 @@ class TestAtomicWrites:
         loaded = load_traces(path)
         assert loaded["t"].equals(small_result.trace)
 
+    # The live engine's per-client event files (live_client_<id>.json,
+    # written by LiveRuntime.write_client_stats) carry the same
+    # torn-write guarantee as every other persisted artifact.
+
+    def test_live_client_stats_failed_serialization(self, tmp_path):
+        from repro.live.runtime import atomic_write_json
+
+        path = tmp_path / "live_client_3.json"
+        atomic_write_json(path, {"client": 3, "rounds": 2})
+        before = path.read_text()
+        with pytest.raises(TypeError):
+            # a set is not JSON-serializable: crash mid-serialization
+            atomic_write_json(path, {"client": 3, "drops": {1, 2}})
+        assert path.read_text() == before              # old payload intact
+        assert list(tmp_path.glob("*.tmp*")) == []     # no temp litter
+
+    def test_live_client_stats_crash_mid_write(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.live.runtime import atomic_write_json
+
+        path = tmp_path / "live_client_0.json"
+        atomic_write_json(path, {"client": 0})
+        before = path.read_text()
+        real_write = Path.write_text
+
+        def torn_write(self, text, **kwargs):
+            real_write(self, text[: len(text) // 2], **kwargs)
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Path, "write_text", torn_write)
+        with pytest.raises(OSError):
+            atomic_write_json(path, {"client": 0, "rounds": 99})
+        monkeypatch.undo()
+        assert path.read_text() == before              # never half-replaced
+        assert list(tmp_path.glob("*.tmp*")) == []     # torn temp removed
+        json.loads(path.read_text())                   # still valid JSON
+
+    def test_live_client_stats_fresh_write_crash_leaves_nothing(self, tmp_path):
+        from repro.live.runtime import atomic_write_json
+
+        path = tmp_path / "live_client_7.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestRobustnessSchema:
     def test_attack_defense_round_trip(self):

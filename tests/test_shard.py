@@ -85,6 +85,32 @@ class TestShardPlan:
         for s, m in enumerate(plan.members):
             np.testing.assert_array_equal(plan.shard_of[m], s)
 
+    def test_kmeans_deterministic_and_covers_population(self):
+        # The shard geometry study (examples/shard_geometry_study.py)
+        # relies on kmeans plans being a pure function of (positions,
+        # seed) and a true partition of the real population layout.
+        from repro.config import PopulationConfig
+        from repro.env import build_population
+        from repro.rng import RngFactory
+
+        pop = build_population(
+            PopulationConfig(num_clients=50), RngFactory(23).get("pop")
+        )
+        plans = [
+            build_shard_plan(
+                50, 5, "kmeans",
+                positions=pop.positions_m,
+                rng=np.random.default_rng(7),
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(plans[0].shard_of, plans[1].shard_of)
+        for a, b in zip(plans[0].members, plans[1].members):
+            np.testing.assert_array_equal(a, b)
+        covered = np.sort(np.concatenate(plans[0].members))
+        np.testing.assert_array_equal(covered, np.arange(50))
+        assert all(m.size > 0 for m in plans[0].members)
+
     def test_validation(self, rng):
         with pytest.raises(ValueError):
             build_shard_plan(10, 0)
