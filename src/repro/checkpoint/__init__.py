@@ -1,0 +1,33 @@
+"""Round-granular checkpoint/resume for long-horizon experiments.
+
+See :mod:`repro.checkpoint.snapshot` for the on-disk format and the
+bit-identical-resume contract, :mod:`repro.checkpoint.errors` for the
+exit-code mapping, and :mod:`repro.checkpoint.crashsmoke` for the
+SIGKILL crash-injection harness used by tests and ``repro bench
+--crash-smoke``.
+"""
+
+from repro.checkpoint.errors import CheckpointError, ExperimentInterrupted
+from repro.checkpoint.snapshot import (
+    CHECKPOINT_SCHEMA_VERSION,
+    ResumeState,
+    Snapshot,
+    latest_snapshot_path,
+    load_snapshot,
+    prepare_checkpoint_dir,
+    resume_experiment,
+    write_snapshot,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "ExperimentInterrupted",
+    "ResumeState",
+    "Snapshot",
+    "latest_snapshot_path",
+    "load_snapshot",
+    "prepare_checkpoint_dir",
+    "resume_experiment",
+    "write_snapshot",
+]

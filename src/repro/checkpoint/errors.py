@@ -1,0 +1,35 @@
+"""Typed checkpoint failure modes (dependency-free).
+
+Kept in their own module so the runner and CLI can import them without
+pulling in the snapshot machinery (which imports the persistence layer).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CheckpointError", "ExperimentInterrupted"]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is missing, torn, or fails verification.
+
+    The CLI maps this to the *unrecoverable state* contract (exit 1);
+    malformed ``--resume`` arguments are usage errors (exit 2) and never
+    reach this type.
+    """
+
+
+class ExperimentInterrupted(RuntimeError):
+    """A SIGTERM/SIGINT arrived mid-run and a final checkpoint was flushed.
+
+    Carries where the run can be resumed from so the CLI can print the
+    exact ``--resume`` invocation before exiting 1.
+    """
+
+    def __init__(self, signal_name: str, directory: str, next_epoch: int) -> None:
+        super().__init__(
+            f"interrupted by {signal_name} at epoch {next_epoch}; "
+            f"state checkpointed to {directory}"
+        )
+        self.signal_name = signal_name
+        self.directory = directory
+        self.next_epoch = next_epoch

@@ -102,7 +102,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import __version__
-from repro.config import LiveConfig, SimConfig
+from repro.checkpoint import CheckpointError, ExperimentInterrupted
+from repro.config import CheckpointConfig, LiveConfig, SimConfig
 from repro.fl.adversary import ATTACKS
 from repro.fl.defense import AGGREGATORS, CorruptUpdateError, TrainingDivergedError
 from repro.experiments.figures import accuracy_vs_time, run_policy_suite
@@ -192,10 +193,30 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default: none = plain weighted mean, corrupt "
                        "uploads abort the run)")
 
+    def checkpointing(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--checkpoint-dir", type=str, default=None,
+                       metavar="DIR",
+                       help="write atomic round-granular snapshots into DIR "
+                       "every --checkpoint-interval epochs (restart the run "
+                       "bit-identically with --resume DIR)")
+        p.add_argument("--checkpoint-interval", type=int, default=10,
+                       metavar="N",
+                       help="epochs between snapshots (default 10)")
+        p.add_argument("--checkpoint-keep", type=int, default=2, metavar="N",
+                       help="snapshots retained in --checkpoint-dir "
+                       "(default 2; older ones are pruned)")
+        p.add_argument("--resume", type=str, default=None, metavar="DIR",
+                       help="resume from the newest snapshot in DIR; the "
+                       "experiment config comes from the snapshot, so "
+                       "scenario flags are ignored. Checkpointing continues "
+                       "into the same directory unless --checkpoint-dir "
+                       "overrides it")
+
     p_run = sub.add_parser("run", help="run one policy end to end")
     common(p_run)
     scaling(p_run)
     robustness(p_run)
+    checkpointing(p_run)
     p_run.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                        help="override a strategy registry parameter "
@@ -213,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_sim)
     scaling(p_sim)
     robustness(p_sim)
+    checkpointing(p_sim)
     p_sim.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_sim.add_argument("--budget", type=float, default=800.0)
     p_sim.add_argument("--quick", action="store_true",
@@ -243,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_liv)
     scaling(p_liv)
+    checkpointing(p_liv)
     p_liv.add_argument("--policy", default="FedL", choices=ALL_POLICIES)
     p_liv.add_argument("--budget", type=float, default=800.0)
     p_liv.add_argument("--quick", action="store_true",
@@ -338,6 +361,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                        help="reuse/store per-job results in this directory "
                        "(a second identical sweep only runs cache misses)")
+    p_swp.add_argument("--checkpoint-dir", type=str, default=None,
+                       metavar="DIR",
+                       help="give every job a snapshot directory under "
+                       "DIR/jobs/<job-key>; a crashed sweep resumes each "
+                       "job from its newest surviving snapshot")
+    p_swp.add_argument("--checkpoint-interval", type=int, default=10,
+                       metavar="N",
+                       help="epochs between per-job snapshots (default 10)")
+    p_swp.add_argument("--checkpoint-keep", type=int, default=2, metavar="N",
+                       help="snapshots retained per job (default 2)")
     p_swp.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                        help="record per-job/worker JSONL event traces + a "
                        "merged manifest into DIR")
@@ -466,6 +499,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only these bench layers (space- or "
                        "comma-separated; known: fl, solver, nn, sim, "
                        "scale; default: all)")
+    p_bch.add_argument("--checkpoint-overhead", action="store_true",
+                       help="measure what periodic snapshots cost an "
+                       "otherwise-identical run (interval=10) and verify "
+                       "the checkpointed run stays bit-identical; exit 1 "
+                       "when the overhead exceeds --max-ckpt-overhead")
+    p_bch.add_argument("--max-ckpt-overhead", type=float, default=0.02,
+                       metavar="FRAC",
+                       help="allowed checkpoint wall-clock overhead "
+                       "fraction for --checkpoint-overhead "
+                       "(default 0.02 = 2%%)")
+    p_bch.add_argument("--crash-smoke", action="store_true",
+                       help="run the SIGKILL crash/resume drill instead of "
+                       "the throughput bench: fork a checkpointing run, "
+                       "kill it at a randomized epoch, resume from disk, "
+                       "and verify the recovery is bit-identical to an "
+                       "uninterrupted reference (exit 1 on mismatch)")
+    p_bch.add_argument("--engine", default="loop",
+                       choices=["loop", "batched", "des", "live"],
+                       help="training engine for --crash-smoke "
+                       "(default loop)")
     return parser
 
 
@@ -602,6 +655,94 @@ def _scaling_overlay(cfg, args: argparse.Namespace):
     )
 
 
+def _validate_checkpoint_args(args: argparse.Namespace) -> Optional[str]:
+    """Semantic validation of the checkpoint/resume knobs (run/sim/live/
+    sweep; sweep has no --resume — its jobs auto-resume per job dir)."""
+    if args.checkpoint_interval < 1:
+        return "--checkpoint-interval must be >= 1"
+    if args.checkpoint_keep < 1:
+        return "--checkpoint-keep must be >= 1"
+    resume = getattr(args, "resume", None)
+    if resume is not None and not Path(resume).is_dir():
+        return f"--resume: no such checkpoint directory: {resume}"
+    return None
+
+
+def _checkpoint_overlay(cfg, args: argparse.Namespace):
+    """Overlay --checkpoint-dir/--checkpoint-interval/--checkpoint-keep."""
+    if args.checkpoint_dir is None:
+        return cfg
+    return cfg.replace(
+        checkpoint=CheckpointConfig(
+            directory=args.checkpoint_dir,
+            interval=args.checkpoint_interval,
+            keep=args.checkpoint_keep,
+        )
+    )
+
+
+def _resume_hint(command: str, directory: str) -> None:
+    print(
+        f"repro: resume with: repro {command} --resume {directory}",
+        file=sys.stderr,
+    )
+
+
+def _resume_run(args: argparse.Namespace, command: str) -> int:
+    """Shared --resume path for run/sim/live.
+
+    The entire experiment config (engine included) comes from the
+    snapshot; only the checkpoint destination can be overridden.  Exit
+    codes follow the documented contract: 2 for bad arguments (handled
+    by the caller's validation), 1 for unrecoverable runtime failures or
+    a further interruption, 0 on completion.
+    """
+    from repro.checkpoint import resume_experiment
+
+    override = None
+    if args.checkpoint_dir is not None:
+        override = CheckpointConfig(
+            directory=args.checkpoint_dir,
+            interval=args.checkpoint_interval,
+            keep=args.checkpoint_keep,
+        )
+    try:
+        result = resume_experiment(
+            args.resume,
+            heartbeat_s=None if getattr(args, "quiet", False) else HEARTBEAT_S,
+            checkpoint_override=override,
+        )
+    except CheckpointError as exc:
+        print(f"repro: cannot resume: {exc}", file=sys.stderr)
+        return 1
+    except ExperimentInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _resume_hint(command, exc.directory)
+        return 1
+    except ParticipationFloorError as exc:
+        print(f"repro: run aborted: {exc}", file=sys.stderr)
+        return 1
+    except LiveError as exc:
+        print(f"repro: live runtime failed: {exc}", file=sys.stderr)
+        return 1
+    except (CorruptUpdateError, TrainingDivergedError) as exc:
+        print(f"repro: training aborted: {exc}", file=sys.stderr)
+        return 1
+    tr = result.trace
+    print(
+        f"policy={tr.policy_name} resumed={args.resume} "
+        f"epochs={len(tr)} stop={result.stop_reason}"
+    )
+    print(
+        f"final_accuracy={tr.final_accuracy:.4f} "
+        f"sim_time={tr.times[-1]:.1f}s spend={tr.total_spend:.1f}"
+    )
+    if args.save:
+        path = save_traces({tr.policy_name: tr}, args.save)
+        print(f"saved -> {path}")
+    return 0
+
+
 def _parse_params(pairs: Sequence[str]) -> dict:
     """Parse repeated ``--param KEY=VALUE`` flags into an override dict.
 
@@ -632,9 +773,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _validate_common(args)
         or _validate_scaling_args(args)
         or _validate_attack_args(args.attack, args.attack_fraction)
+        or _validate_checkpoint_args(args)
     )
     if error:
         return _usage_error(error)
+    if args.resume is not None:
+        return _resume_run(args, "run")
     cfg = experiment_config(
         dataset=args.dataset,
         iid=not args.non_iid,
@@ -646,6 +790,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     cfg = _scaling_overlay(cfg, args)
     cfg = _attack_overlay(cfg, args)
+    cfg = _checkpoint_overlay(cfg, args)
     try:
         params = _parse_params(args.param)
         policy = make_policy(
@@ -669,6 +814,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     except (CorruptUpdateError, TrainingDivergedError) as exc:
         print(f"repro: training aborted: {exc}", file=sys.stderr)
+        return 1
+    except ExperimentInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _resume_hint("run", exc.directory)
+        return 1
+    except CheckpointError as exc:
+        print(f"repro: checkpoint failure: {exc}", file=sys.stderr)
         return 1
     if hub is not None:
         hub.finalize(
@@ -699,9 +851,12 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         or _validate_scaling_args(args)
         or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
         or _validate_attack_args(args.attack, args.attack_fraction)
+        or _validate_checkpoint_args(args)
     )
     if error:
         return _usage_error(error)
+    if args.resume is not None:
+        return _resume_run(args, "sim")
     max_epochs = min(args.epochs, 5) if args.quick else args.epochs
     cfg = experiment_config(
         dataset=args.dataset,
@@ -724,6 +879,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         ),
     )
     cfg = _attack_overlay(cfg, args)
+    cfg = _checkpoint_overlay(cfg, args)
     policy = make_policy(args.policy, cfg, RngFactory(args.seed).get("cli.policy"))
     hub = (
         Telemetry.for_directory(
@@ -743,6 +899,13 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         return 1
     except (CorruptUpdateError, TrainingDivergedError) as exc:
         print(f"repro: training aborted: {exc}", file=sys.stderr)
+        return 1
+    except ExperimentInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _resume_hint("sim", exc.directory)
+        return 1
+    except CheckpointError as exc:
+        print(f"repro: checkpoint failure: {exc}", file=sys.stderr)
         return 1
     if hub is not None:
         hub.finalize(
@@ -798,9 +961,12 @@ def _cmd_live(args: argparse.Namespace) -> int:
         or _validate_scaling_args(args)
         or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
         or _validate_live_args(args)
+        or _validate_checkpoint_args(args)
     )
     if error:
         return _usage_error(error)
+    if args.resume is not None:
+        return _resume_run(args, "live")
     max_epochs = min(args.epochs, 5) if args.quick else args.epochs
     time_scale = args.time_scale
     if time_scale is None:
@@ -831,6 +997,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             round_timeout_s=args.round_timeout,
         ),
     )
+    cfg = _checkpoint_overlay(cfg, args)
     if args.calibrate:
         profiles = tuple(args.profiles) if args.profiles else DEFAULT_PROFILES
         try:
@@ -873,6 +1040,13 @@ def _cmd_live(args: argparse.Namespace) -> int:
         return 1
     except (CorruptUpdateError, TrainingDivergedError) as exc:
         print(f"repro: training aborted: {exc}", file=sys.stderr)
+        return 1
+    except ExperimentInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _resume_hint("live", exc.directory)
+        return 1
+    except CheckpointError as exc:
+        print(f"repro: checkpoint failure: {exc}", file=sys.stderr)
         return 1
     if hub is not None:
         hub.finalize(
@@ -955,6 +1129,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _validate_common(args)
         or _validate_sim_args(args.aggregation, args.deadline, args.quorum)
         or _validate_attack_args(args.attack, args.attack_fraction)
+        or _validate_checkpoint_args(args)
     )
     if error:
         return _usage_error(error)
@@ -1007,6 +1182,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 min_participants=args.participants,
                 max_epochs=args.epochs,
             )
+            cfg = _checkpoint_overlay(cfg, args)
             jobs.extend(
                 SweepJob(
                     policy=PolicySpec(
@@ -1280,6 +1456,57 @@ def _cmd_regret(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_crash_smoke(args: argparse.Namespace) -> int:
+    """``repro bench --crash-smoke``: the SIGKILL crash/resume drill.
+
+    Exit 0 iff the victim died by SIGKILL and the resumed run matched
+    the uninterrupted reference bit-for-bit (modulo measured wall time
+    for the live engine).
+    """
+    import tempfile
+
+    from repro.checkpoint.crashsmoke import run_crash_resume_smoke
+
+    cfg = experiment_config(
+        budget=200.0, seed=args.seed, num_clients=8,
+        min_participants=2, max_epochs=12,
+    )
+    if args.engine != "loop":
+        cfg = cfg.replace(
+            training=dataclasses.replace(cfg.training, engine=args.engine)
+        )
+    if args.engine == "live":
+        cfg = cfg.replace(
+            live=LiveConfig(
+                workers=2, time_scale=0.01, transport="unix",
+                round_timeout_s=30.0,
+            )
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-crash-smoke-") as tmp:
+        report = run_crash_resume_smoke(
+            cfg, workdir=tmp, interval=3, smoke_seed=args.seed
+        )
+    report["engine"] = args.engine
+    for key in (
+        "engine", "policy", "crash_epoch", "interval",
+        "killed_by_sigkill", "final_w_equal", "traces_equal", "ok",
+    ):
+        print(f"{key}={report[key]}")
+    if args.out:
+        path = Path(args.out).expanduser()
+        tmp_path = path.with_name(path.name + ".tmp")
+        tmp_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        tmp_path.replace(path)
+        print(f"report -> {path}")
+    if not report["ok"]:
+        print("repro: crash-resume smoke FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         bench_overhead,
@@ -1293,6 +1520,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         save_report,
     )
+
+    if args.crash_smoke:
+        return _bench_crash_smoke(args)
+
+    if args.checkpoint_overhead:
+        from repro.experiments.bench import (
+            bench_checkpoint_overhead,
+            check_checkpoint_overhead,
+        )
+
+        if not (0.0 < args.max_ckpt_overhead < 1.0):
+            return _usage_error("--max-ckpt-overhead must be in (0, 1)")
+        report = bench_checkpoint_overhead(quick=args.quick, seed=args.seed)
+        for key in (
+            "clients", "epochs", "interval", "snapshots_per_run",
+            "disabled_seconds", "enabled_seconds",
+            "checkpoint_write_seconds", "overhead_fraction",
+            "bit_identical",
+        ):
+            value = report[key]
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            print(f"{key}={value}")
+        if args.out:
+            path = save_report(report, args.out)
+            print(f"report -> {path}")
+        failures = check_checkpoint_overhead(
+            report, max_fraction=args.max_ckpt_overhead
+        )
+        if failures:
+            for failure in failures:
+                print(f"repro: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"\ncheckpoint overhead gate: OK "
+            f"(<= {args.max_ckpt_overhead:.1%} at interval="
+            f"{report['interval']})"
+        )
+        return 0
 
     if args.compare is not None:
         path_a, path_b = args.compare

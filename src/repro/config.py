@@ -31,6 +31,7 @@ __all__ = [
     "DefenseConfig",
     "FedLConfig",
     "ShardConfig",
+    "CheckpointConfig",
     "ExperimentConfig",
 ]
 
@@ -259,6 +260,12 @@ class LiveConfig:
     transport: str = "unix"             # "unix" socketpair | "tcp" loopback
     chunk_bytes: int = 16384            # shaped-upload chunk size
     round_timeout_s: float = 60.0       # wall safety cap per iteration barrier
+    worker_heartbeat_s: float = 0.5     # worker liveness beacon period (wall);
+                                        # 0 disables the staleness watchdog
+    worker_stale_s: float = 0.0         # silence -> wedged threshold;
+                                        # 0 = auto (see LiveRuntime)
+    max_worker_restarts: int = 2        # per-worker supervised restart budget
+    restart_backoff_s: float = 0.1      # exponential restart backoff base
 
     def __post_init__(self) -> None:
         _require(self.workers >= 1, "workers must be >= 1")
@@ -266,6 +273,10 @@ class LiveConfig:
         _require(self.transport in ("unix", "tcp"), "unknown live transport")
         _require(self.chunk_bytes >= 1024, "chunk_bytes must be >= 1024")
         _require(self.round_timeout_s > 0, "round_timeout_s must be positive")
+        _require(self.worker_heartbeat_s >= 0, "worker_heartbeat_s must be >= 0")
+        _require(self.worker_stale_s >= 0, "worker_stale_s must be >= 0")
+        _require(self.max_worker_restarts >= 0, "max_worker_restarts must be >= 0")
+        _require(self.restart_backoff_s >= 0, "restart_backoff_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -396,6 +407,30 @@ class ShardConfig:
 
 
 @dataclass(frozen=True)
+class CheckpointConfig:
+    """Round-granular checkpointing (:mod:`repro.checkpoint`).
+
+    ``directory = None`` (default) disables checkpointing entirely — no
+    state capture, no extra I/O, trajectories untouched.  With a
+    directory set, the runner snapshots the *full* experiment state
+    (model, learner duals, RNG streams, reliability EWMAs, budget,
+    partial trace) every ``interval`` completed epochs, atomically, and
+    ``repro run/sim/live --resume <dir>`` restarts the run
+    bit-identically from the newest snapshot.  Checkpointing never
+    perturbs the trajectory, so the sweep cache fingerprint excludes
+    this section.
+    """
+
+    directory: Optional[str] = None     # None = checkpointing disabled
+    interval: int = 10                  # epochs between snapshots
+    keep: int = 2                       # retained snapshots (older pruned)
+
+    def __post_init__(self) -> None:
+        _require(self.interval >= 1, "checkpoint interval must be >= 1")
+        _require(self.keep >= 1, "checkpoint keep must be >= 1")
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Top-level experiment description."""
 
@@ -413,6 +448,7 @@ class ExperimentConfig:
     defense: DefenseConfig = field(default_factory=DefenseConfig)
     fedl: FedLConfig = field(default_factory=FedLConfig)
     shard: ShardConfig = field(default_factory=ShardConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
 
     def __post_init__(self) -> None:
         _require(self.budget > 0, "budget must be positive")

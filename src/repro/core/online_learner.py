@@ -244,6 +244,59 @@ class OnlineLearner:
             )
         return self.state.phi
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All mutable learner state as JSON-ready plain types.
+
+        Covers the primal/dual iterates *and* the solver carry-over (the
+        FISTA warm-start step/residual plus the cold-solve iteration
+        reference), so a learner restored mid-run re-solves the next
+        epoch's subproblem bit-identically to one that never stopped.
+        """
+        pg = self._pg_state
+        return {
+            "x": [float(v) for v in self.state.phi.x],
+            "rho": float(self.state.phi.rho),
+            "mu": [float(v) for v in self.state.mu],
+            "pg_state": (
+                None
+                if pg is None
+                else {
+                    "step": float(pg.step),
+                    "residual": float(pg.residual),
+                    "iterations": int(pg.iterations),
+                }
+            ),
+            "first_solve_iters": (
+                None
+                if self._first_solve_iters is None
+                else int(self._first_solve_iters)
+            ),
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        x = np.asarray(payload["x"], dtype=float)
+        if x.shape != self.state.phi.x.shape:
+            raise ValueError("client count changed since checkpoint")
+        self.state = LearnerState(
+            phi=Phi(x=x, rho=float(payload["rho"])),
+            mu=np.asarray(payload["mu"], dtype=float),
+        )
+        pg = payload.get("pg_state")
+        self._pg_state = (
+            None
+            if pg is None
+            else ProjectedGradientState(
+                step=float(pg["step"]),
+                residual=float(pg["residual"]),
+                iterations=int(pg["iterations"]),
+            )
+        )
+        first = payload.get("first_solve_iters")
+        self._first_solve_iters = None if first is None else int(first)
+
     # -- accessors ---------------------------------------------------------------
 
     @property

@@ -44,6 +44,8 @@ __all__ = [
     "bench_live",
     "run_bench",
     "bench_overhead",
+    "bench_checkpoint_overhead",
+    "check_checkpoint_overhead",
     "check_overhead",
     "format_overhead",
     "compare_reports",
@@ -58,11 +60,14 @@ __all__ = [
 # — BENCH_PR8.json is the first v3 baseline.
 # v4: adds the "live" layer (multi-process engine overhead vs the loop
 # engine) — BENCH_PR9.json is the first v4 baseline.
-SCHEMA_VERSION = 4
+# v5: adds the "checkpoint" layer (periodic-snapshot cost measured in
+# situ, plus the checkpointed-vs-plain bit-identity invariant) —
+# BENCH_PR10.json is the first v5 baseline.
+SCHEMA_VERSION = 5
 
 #: Layers ``run_bench`` knows how to run, in execution order; the CLI's
 #: ``--layers`` flag filters this set.
-BENCH_LAYERS = ("fl", "solver", "nn", "sim", "scale", "live")
+BENCH_LAYERS = ("fl", "solver", "nn", "sim", "scale", "live", "checkpoint")
 
 #: Ratio metrics gated by :func:`check_regression` regardless of config —
 #: both sides of each ratio are measured in the same process on the same
@@ -686,6 +691,10 @@ def run_bench(
         )
     if "live" in selected:
         report["live"] = bench_live(epochs=4 if quick else 10, seed=seed)
+    if "checkpoint" in selected:
+        report["checkpoint"] = bench_checkpoint_overhead(
+            quick=quick, seed=seed
+        )
     return report
 
 
@@ -726,6 +735,8 @@ def check_regression(
             "live: fault-free live engine no longer trains a bit-identical "
             "model to the loop engine"
         )
+    if "checkpoint" in current:
+        failures += check_checkpoint_overhead(current["checkpoint"])
     if int(baseline.get("schema_version", 0)) != SCHEMA_VERSION:
         failures.append(
             f"baseline schema_version {baseline.get('schema_version')} "
@@ -858,6 +869,19 @@ def format_report(report: Dict[str, Any]) -> str:
             f"overhead {live['overhead_ratio']:.1f}x",
             f"          bit-identical model vs loop: {live['exact']}",
         ]
+    ckpt = report.get("checkpoint")
+    if ckpt is not None:
+        lines += [
+            "",
+            f"[ckpt]    {ckpt['clients']} clients x {ckpt['epochs']} epochs, "
+            f"snapshot every {ckpt['interval']} "
+            f"({ckpt['snapshots_per_run']} snapshots)",
+            f"          run {ckpt['enabled_seconds']:.3f}s   writes "
+            f"{ckpt['checkpoint_write_seconds'] * 1e3:.1f}ms   "
+            f"overhead {ckpt['overhead_fraction']:.2%}",
+            f"          bit-identical vs uncheckpointed: "
+            f"{ckpt['bit_identical']}",
+        ]
     return "\n".join(lines)
 
 
@@ -870,12 +894,119 @@ def load_report(path: str | Path) -> Dict[str, Any]:
 
 
 def save_report(report: Dict[str, Any], path: str | Path) -> Path:
-    """Atomically write the report as stable, diff-friendly JSON."""
+    """Atomically write the report as stable, diff-friendly JSON.
+
+    Delegates to :func:`~repro.experiments.persistence.atomic_write_text`
+    so a crash mid-write leaves no torn file and no temp-file litter
+    (in-flight temps are reaped at interpreter exit).
+    """
+    from repro.experiments.persistence import atomic_write_text
+
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    tmp.replace(path)
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# -- checkpoint overhead -------------------------------------------------------
+
+
+def bench_checkpoint_overhead(
+    quick: bool = True,
+    seed: int = 0,
+    interval: int = 10,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Measure what periodic snapshots cost an otherwise-identical run.
+
+    Times the same FedL experiment with checkpointing disabled and with
+    snapshots every ``interval`` epochs (best-of-``repeats`` each, so a
+    scheduler hiccup cannot fake a regression), and asserts the two runs
+    stay bit-identical — checkpointing is pure observation and must not
+    perturb a single RNG draw.
+    """
+    import tempfile
+
+    from repro.config import CheckpointConfig
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.scenarios import experiment_config, make_policy
+    from repro.rng import RngFactory
+
+    clients = 20 if quick else 40
+    epochs = 40 if quick else 100
+    base = experiment_config(
+        budget=9000.0, seed=seed, num_clients=clients,
+        min_participants=5, max_epochs=epochs,
+    )
+
+    def run_once(config, hub=None) -> tuple:
+        policy = make_policy(
+            "FedL", config, RngFactory(seed).get("bench.checkpoint")
+        )
+        started = time.perf_counter()
+        with use_telemetry(hub):
+            result = run_experiment(policy, config)
+        return time.perf_counter() - started, result
+
+    disabled_s, ref = run_once(
+        base.replace(checkpoint=CheckpointConfig(directory=None))
+    )
+    # The snapshot cost (tens of ms per run) is far below run-to-run
+    # scheduler noise on a quick config, so an A/B wall-clock diff is
+    # useless.  Instead the runner's "checkpoint.write" timer measures
+    # the added work in situ; best-of-``repeats`` guards the remaining
+    # jitter inside a single run.
+    write_s, wall_s, ckpt = float("inf"), float("inf"), None
+    for _ in range(repeats):
+        hub = _mem_hub("bench-checkpoint")
+        with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+            enabled_s, ckpt = run_once(
+                base.replace(
+                    checkpoint=CheckpointConfig(
+                        directory=tmp, interval=interval
+                    )
+                ),
+                hub=hub,
+            )
+        stat = hub.registry.timers.get("checkpoint.write")
+        if stat is not None and stat.total_s < write_s:
+            write_s, wall_s = stat.total_s, enabled_s
+    baseline_s = max(wall_s - write_s, 1e-9)
+    return {
+        "quick": quick,
+        "clients": clients,
+        "epochs": epochs,
+        "interval": interval,
+        "repeats": repeats,
+        "snapshots_per_run": epochs // interval,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": wall_s,
+        "checkpoint_write_seconds": write_s,
+        "overhead_fraction": write_s / baseline_s,
+        "bit_identical": bool(
+            ckpt.final_w.tobytes() == ref.final_w.tobytes()
+            and ckpt.trace.equals(ref.trace)
+        ),
+    }
+
+
+def check_checkpoint_overhead(
+    report: Dict[str, Any], max_fraction: float = 0.02
+) -> List[str]:
+    """Gate the drill: snapshots must stay cheap and observation-only."""
+    failures: List[str] = []
+    frac = float(report.get("overhead_fraction", 0.0))
+    if frac > max_fraction:
+        failures.append(
+            f"checkpoint overhead {frac:.2%} at interval="
+            f"{report.get('interval')} exceeds the {max_fraction:.0%} "
+            f"ceiling"
+        )
+    if not report.get("bit_identical", False):
+        failures.append(
+            "checkpointed run is NOT bit-identical to the uncheckpointed "
+            "reference"
+        )
+    return failures
 
 
 # -- overhead audit ------------------------------------------------------------

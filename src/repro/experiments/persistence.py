@@ -12,10 +12,12 @@ entries.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Mapping
 
@@ -23,12 +25,15 @@ import numpy as np
 
 from repro.config import (
     AttackConfig,
+    CheckpointConfig,
     DataConfig,
     DefenseConfig,
     ExperimentConfig,
     FedLConfig,
+    LiveConfig,
     NetworkConfig,
     PopulationConfig,
+    ShardConfig,
     SimConfig,
     TrainingConfig,
 )
@@ -46,6 +51,8 @@ __all__ = [
     "result_from_dict",
     "save_results",
     "load_results",
+    "atomic_write_text",
+    "clean_stale_tmps",
     "SCHEMA_VERSION",
     "RESULT_SCHEMA_VERSION",
     "SUPPORTED_RESULT_SCHEMAS",
@@ -58,24 +65,79 @@ SCHEMA_VERSION = 1
 # results load with the benign defaults (no attack, plain aggregation).
 # v4: results gained the optional "policy" self-description (the sweep
 # engine's PolicySpec as a dict); older results load with policy=None.
-RESULT_SCHEMA_VERSION = 4
+# v5: config round-trips became lossless — the reader now restores the
+# "live", "shard", and (new) "checkpoint" sections it previously dropped;
+# older results load those sections with their defaults.
+RESULT_SCHEMA_VERSION = 5
 
 #: Every result schema this reader understands (older versions load with
 #: documented defaults for the fields they predate).
-SUPPORTED_RESULT_SCHEMAS = (1, 2, 3, RESULT_SCHEMA_VERSION)
+SUPPORTED_RESULT_SCHEMAS = (1, 2, 3, 4, RESULT_SCHEMA_VERSION)
+
+# Temp files currently being written by this process, swept at interpreter
+# exit so an aborted run (uncaught exception, sys.exit, handled signal)
+# never leaves `*.tmp` litter next to its outputs.  A SIGKILL mid-write
+# still strands the file — :func:`clean_stale_tmps` is the second line of
+# defense the next process runs over the same directory.
+_INFLIGHT_TMPS: set = set()
+_INFLIGHT_LOCK = threading.Lock()
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
+def _reap_inflight_tmps() -> None:
+    with _INFLIGHT_LOCK:
+        stranded = list(_INFLIGHT_TMPS)
+        _INFLIGHT_TMPS.clear()
+    for tmp in stranded:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+atexit.register(_reap_inflight_tmps)
+
+
+def clean_stale_tmps(directory: str | Path) -> int:
+    """Remove torn-write litter (``.<name>.*.tmp`` / ``<name>.tmp<pid>``)
+    left in ``directory`` by a process that died between temp-file
+    creation and :func:`os.replace`.  Returns the number removed.
+
+    Only files matching the atomic writers' temp naming are touched;
+    called by long-lived writers (sweep cache, checkpoints) when they
+    (re)open a directory, where any survivor is by construction stale.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for entry in directory.iterdir():
+        name = entry.name
+        is_mkstemp_tmp = name.startswith(".") and name.endswith(".tmp")
+        is_pid_tmp = ".tmp" in name and name.rsplit(".tmp", 1)[1].isdigit()
+        if (is_mkstemp_tmp or is_pid_tmp) and entry.is_file():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` without ever exposing a torn file.
 
     The payload goes to a temp file in the destination directory first and
     is moved into place with :func:`os.replace`, which is atomic on POSIX —
     a crash mid-write leaves either the old file or the new one, never a
-    truncated JSON document.
+    truncated JSON document.  The temp path is tracked while in flight and
+    reaped at interpreter exit, so exits that skip the ``except`` path
+    (e.g. a SIGTERM handler calling ``sys.exit``) leave no litter either.
     """
     fd, tmp = tempfile.mkstemp(
         dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
     )
+    with _INFLIGHT_LOCK:
+        _INFLIGHT_TMPS.add(tmp)
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(text)
@@ -86,6 +148,20 @@ def _atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+    finally:
+        with _INFLIGHT_LOCK:
+            _INFLIGHT_TMPS.discard(tmp)
+
+
+#: Backwards-compatible alias (pre-PR10 internal name).
+_atomic_write_text = atomic_write_text
+
+
+#: EpochRecord is flat (scalars only), so serialization reads the fields
+#: directly — ``dataclasses.asdict`` pays for recursive deep-copying the
+#: records never need, which matters once checkpointing re-serializes
+#: the growing trace every snapshot.
+_EPOCH_RECORD_FIELDS = tuple(f.name for f in dataclasses.fields(EpochRecord))
 
 
 def trace_to_dict(trace: Trace) -> dict:
@@ -93,7 +169,10 @@ def trace_to_dict(trace: Trace) -> dict:
     return {
         "schema": SCHEMA_VERSION,
         "policy_name": trace.policy_name,
-        "records": [dataclasses.asdict(r) for r in trace.records],
+        "records": [
+            {name: getattr(r, name) for name in _EPOCH_RECORD_FIELDS}
+            for r in trace.records
+        ],
     }
 
 
@@ -163,9 +242,12 @@ def config_from_dict(data: Mapping) -> ExperimentConfig:
         data=DataConfig(**data["data"]),
         training=TrainingConfig(**_with_tuples(data["training"], "hidden_units")),
         sim=SimConfig(**data.get("sim", {})),
+        live=LiveConfig(**data.get("live", {})),
         attack=AttackConfig(**data.get("attack", {})),
         defense=DefenseConfig(**data.get("defense", {})),
         fedl=FedLConfig(**data["fedl"]),
+        shard=ShardConfig(**data.get("shard", {})),
+        checkpoint=CheckpointConfig(**data.get("checkpoint", {})),
     )
 
 

@@ -22,7 +22,9 @@ experiment itself runs as fast as NumPy allows.
 from __future__ import annotations
 
 import dataclasses
+import signal
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -346,6 +348,7 @@ def run_experiment(
     target_accuracy: Optional[float] = None,
     heartbeat_s: Optional[float] = None,
     live_stats_dir: Optional[str] = None,
+    resume=None,
 ) -> ExperimentResult:
     """Drive ``policy`` through the budget-constrained FL process.
 
@@ -359,6 +362,18 @@ def run_experiment(
     continuous with the loop engine's — reused across every epoch, and
     torn down on exit even when the run raises.  ``live_stats_dir``
     (optional) collects the runtime's measured per-client stats files.
+
+    With ``config.checkpoint.directory`` set, the loop snapshots the
+    full experiment state every ``config.checkpoint.interval`` completed
+    epochs (see :mod:`repro.checkpoint`), and a SIGTERM/SIGINT flushes a
+    final snapshot before raising
+    :class:`~repro.checkpoint.errors.ExperimentInterrupted`.
+
+    ``resume`` (a :class:`repro.checkpoint.ResumeState`, normally via
+    :func:`repro.checkpoint.snapshot.resume_experiment`) restarts the
+    loop mid-run; callers must pass a ``simulation`` whose RNG streams
+    and carried state were restored from the same snapshot, and the
+    resumed run is then bit-identical to an uninterrupted one.
     """
     sim = simulation if simulation is not None else Simulation(config)
     live_runtime = None
@@ -372,10 +387,14 @@ def run_experiment(
             chunk_bytes=config.live.chunk_bytes,
             round_timeout_s=config.live.round_timeout_s,
             stats_dir=live_stats_dir,
+            worker_heartbeat_s=config.live.worker_heartbeat_s,
+            worker_stale_s=config.live.worker_stale_s,
+            max_worker_restarts=config.live.max_worker_restarts,
+            restart_backoff_s=config.live.restart_backoff_s,
         )
     try:
         return _run_experiment_loop(
-            policy, config, sim, target_accuracy, heartbeat_s, live_runtime
+            policy, config, sim, target_accuracy, heartbeat_s, live_runtime, resume
         )
     finally:
         if live_runtime is not None:
@@ -389,9 +408,13 @@ def _run_experiment_loop(
     target_accuracy: Optional[float],
     heartbeat_s: Optional[float],
     live_runtime,
+    resume=None,
 ) -> ExperimentResult:
     m = config.population.num_clients
-    trace = Trace(policy_name=getattr(policy, "name", type(policy).__name__))
+    if resume is not None:
+        trace = resume.trace
+    else:
+        trace = Trace(policy_name=getattr(policy, "name", type(policy).__name__))
     tel = get_telemetry()
     if tel.enabled:
         tel.emit(
@@ -410,18 +433,108 @@ def _run_experiment_loop(
     # reliability / costs / spend), updated in place every epoch — no
     # per-client Python objects or reallocation on the hot path.
     state = sim.population.state_arrays()
-    # Prior latency estimate before anything is observed: mean data volume,
-    # mean channel, band shared n ways.
-    mean_counts = np.full(m, config.data.samples_per_client, dtype=float)
-    np.copyto(
-        state.tau_last,
-        sim.realized_tau(
-            mean_counts, sim.channel.mean_state(), config.min_participants
-        ),
-    )
+    if resume is None:
+        # Prior latency estimate before anything is observed: mean data
+        # volume, mean channel, band shared n ways.
+        mean_counts = np.full(m, config.data.samples_per_client, dtype=float)
+        np.copyto(
+            state.tau_last,
+            sim.realized_tau(
+                mean_counts, sim.channel.mean_state(), config.min_participants
+            ),
+        )
+    else:
+        remaining = resume.remaining
+        cumulative_time = resume.cumulative_time
+        for name, values in resume.arrays.items():
+            np.copyto(getattr(state, name), values)
     counts_buf = np.empty(m, dtype=np.int64)
     stop_reason = "max_epochs"
-    final_w = sim.server.w.copy()
+    final_w = (
+        resume.final_w.copy() if resume is not None else sim.server.w.copy()
+    )
+    epochs_done = resume.epochs_done if resume is not None else 0
+    done_at_start = epochs_done
+    start_epoch = resume.next_epoch if resume is not None else 0
+    run_t0 = time.monotonic()
+    last_beat = run_t0
+
+    # --- checkpointing -------------------------------------------------------
+    # Enabled only when a directory is configured; the disabled path does
+    # no work per epoch beyond one None check.  SIGTERM/SIGINT are turned
+    # into a deferred final-snapshot flush at the next epoch boundary
+    # (handlers restored on exit; only touched from the main thread).
+    ckpt = config.checkpoint
+    ckpt_dir = None
+    interrupted: list = []
+    prev_handlers = {}
+    if ckpt.directory is not None:
+        from repro.checkpoint import prepare_checkpoint_dir
+
+        ckpt_dir = prepare_checkpoint_dir(ckpt.directory)
+        if threading.current_thread() is threading.main_thread():
+
+            def _on_signal(signum, frame):
+                interrupted.append(signal.Signals(signum).name)
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                prev_handlers[sig] = signal.signal(sig, _on_signal)
+
+    try:
+        return _drive_epochs(
+            policy=policy,
+            config=config,
+            sim=sim,
+            target_accuracy=target_accuracy,
+            heartbeat_s=heartbeat_s,
+            live_runtime=live_runtime,
+            trace=trace,
+            state=state,
+            counts_buf=counts_buf,
+            remaining=remaining,
+            cumulative_time=cumulative_time,
+            final_w=final_w,
+            epochs_done=epochs_done,
+            done_at_start=done_at_start,
+            start_epoch=start_epoch,
+            run_t0=run_t0,
+            last_beat=last_beat,
+            stop_reason=stop_reason,
+            ckpt_dir=ckpt_dir,
+            interrupted=interrupted,
+            tel=tel,
+        )
+    finally:
+        for sig, handler in prev_handlers.items():
+            signal.signal(sig, handler)
+
+
+def _drive_epochs(
+    *,
+    policy,
+    config,
+    sim,
+    target_accuracy,
+    heartbeat_s,
+    live_runtime,
+    trace,
+    state,
+    counts_buf,
+    remaining,
+    cumulative_time,
+    final_w,
+    epochs_done,
+    done_at_start,
+    start_epoch,
+    run_t0,
+    last_beat,
+    stop_reason,
+    ckpt_dir,
+    interrupted,
+    tel,
+):
+    m = config.population.num_clients
+    ckpt = config.checkpoint
     # Per-client reliability (EWMA of "this round produced no rejected or
     # clipped updates"); only maintained — and only surfaced to policies —
     # when a defense aggregator is active, so the default path is unchanged.
@@ -444,11 +557,10 @@ def _run_experiment_loop(
         if config.shard.num_shards > 1 and hasattr(policy, "plan")
         else None
     )
-    epochs_done = 0
-    run_t0 = time.monotonic()
-    last_beat = run_t0
+    if ckpt_dir is not None:
+        from repro.checkpoint import ExperimentInterrupted, write_snapshot
 
-    for t in range(config.max_epochs):
+    for t in range(start_epoch, config.max_epochs):
         if tel.enabled:
             tel.set_epoch(t)
         available = sim.availability.sample()
@@ -776,7 +888,7 @@ def _run_experiment_loop(
         if heartbeat_s is not None:
             now = time.monotonic()
             if now - last_beat >= heartbeat_s:
-                rate = epochs_done / max(now - run_t0, 1e-9)
+                rate = (epochs_done - done_at_start) / max(now - run_t0, 1e-9)
                 print(
                     f"[repro] epoch {t + 1}/{config.max_epochs} | "
                     f"{rate:.2f} epochs/s | "
@@ -805,6 +917,34 @@ def _run_experiment_loop(
         if remaining < float(cheapest):
             stop_reason = "budget_exhausted"
             break
+        # Snapshot at the epoch boundary, *after* every stop condition:
+        # a run that stops here never resumes past its own stopping
+        # point, so resume stays bit-identical to uninterrupted runs.
+        if ckpt_dir is not None:
+            flush = bool(interrupted)
+            if flush or (t + 1) % ckpt.interval == 0:
+                with tel.timer("checkpoint.write"):
+                    extra = (
+                        live_runtime.client_rng_states()
+                        if live_runtime is not None
+                        else None
+                    )
+                    write_snapshot(
+                        ckpt_dir,
+                        sim=sim,
+                        policy=policy,
+                        state=state,
+                        trace=trace,
+                        next_epoch=t + 1,
+                        remaining=remaining,
+                        cumulative_time=cumulative_time,
+                        epochs_done=epochs_done,
+                        final_w=final_w,
+                        keep=ckpt.keep,
+                        extra_rng_states=extra,
+                    )
+            if flush:
+                raise ExperimentInterrupted(interrupted[0], str(ckpt_dir), t + 1)
 
     if tel.enabled:
         tel.set_epoch(None)

@@ -46,10 +46,12 @@ from typing import (
 
 import numpy as np
 
-from repro.config import ExperimentConfig
+from repro.config import CheckpointConfig, ExperimentConfig
 from repro.experiments.persistence import (
     RESULT_SCHEMA_VERSION,
     SCHEMA_VERSION,
+    atomic_write_text,
+    clean_stale_tmps,
     result_from_dict,
     result_to_dict,
 )
@@ -81,7 +83,10 @@ __all__ = [
 # attack_fraction, defense) and configs the "attack"/"defense" sections.
 # v4: PolicySpec gained strategy-registry parameter overrides ("params")
 # and results carry a "policy" self-description.
-CACHE_SCHEMA_VERSION = 4
+# v5: configs gained the "checkpoint" section.  It is excluded from the
+# fingerprint (a job's result is independent of where snapshots are
+# written), so runs that differ only in checkpointing share entries.
+CACHE_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -249,11 +254,15 @@ def job_fingerprint(job: JobLike) -> dict:
     wrongly.
     """
     job = as_job(job)
+    config = dataclasses.asdict(job.config)
+    # Where (or whether) snapshots are written cannot change what a job
+    # computes, so the checkpoint section must not split the cache key.
+    config.pop("checkpoint", None)
     return {
         "cache_schema": CACHE_SCHEMA_VERSION,
         "result_schema": RESULT_SCHEMA_VERSION,
         "trace_schema": SCHEMA_VERSION,
-        "config": dataclasses.asdict(job.config),
+        "config": config,
         "policy": dataclasses.asdict(job.policy),
         "target_accuracy": job.target_accuracy,
     }
@@ -285,6 +294,9 @@ class SweepCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        # Any surviving temp file is torn-write litter from a process
+        # that died mid-store; sweep it on (re)open.
+        clean_stale_tmps(self.root)
 
     @classmethod
     def default(cls) -> "SweepCache":
@@ -318,9 +330,7 @@ class SweepCache:
             "job": job_fingerprint(job),
             "result": result_to_dict(result),
         }
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        atomic_write_text(path, json.dumps(payload))
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -350,6 +360,52 @@ def execute_job(job: JobLike) -> ExperimentResult:
     """
     job = as_job(job)
     config = job.policy.apply_to(job.config)
+    # Self-describing results: the spec rides along through persistence.
+    # The JSON round trip normalizes tuples to lists up front, so cached
+    # copies compare exactly equal to fresh ones.  The checkpoint section
+    # is reset in returned results for the same reason it is excluded
+    # from cache keys: it is purely operational, and per-job snapshot
+    # paths must not make otherwise-identical results compare unequal.
+    spec_dict = json.loads(json.dumps(dataclasses.asdict(job.policy)))
+
+    def canonical(result: ExperimentResult) -> ExperimentResult:
+        return dataclasses.replace(
+            result,
+            config=result.config.replace(checkpoint=CheckpointConfig()),
+            policy=spec_dict,
+        )
+
+    if config.checkpoint.directory is not None:
+        # Checkpointing sweeps give every job its own snapshot directory
+        # keyed by content hash (checkpointing itself never splits the
+        # key), so a killed grid resumes each in-flight job mid-run
+        # instead of redoing it.  Anything unusable on disk is a miss,
+        # never an error — same contract as the result cache.
+        from repro.checkpoint import (
+            CheckpointError,
+            latest_snapshot_path,
+            resume_experiment,
+        )
+
+        job_dir = Path(config.checkpoint.directory) / "jobs" / job_key(job)
+        config = config.replace(
+            checkpoint=dataclasses.replace(
+                config.checkpoint, directory=str(job_dir)
+            )
+        )
+        try:
+            latest_snapshot_path(job_dir)
+        except CheckpointError:
+            pass  # nothing on disk yet: run from scratch below
+        else:
+            try:
+                result = resume_experiment(
+                    job_dir, target_accuracy=job.target_accuracy
+                )
+            except CheckpointError:
+                pass
+            else:
+                return canonical(result)
     rng = RngFactory(config.seed).get(job.policy.stream)
     policy = make_policy(
         job.policy.name,
@@ -360,11 +416,7 @@ def execute_job(job: JobLike) -> ExperimentResult:
         params=job.policy.params_dict or None,
     )
     result = run_experiment(policy, config, target_accuracy=job.target_accuracy)
-    # Self-describing results: the spec rides along through persistence.
-    # The JSON round trip normalizes tuples to lists up front, so cached
-    # copies compare exactly equal to fresh ones.
-    spec_dict = json.loads(json.dumps(dataclasses.asdict(job.policy)))
-    return dataclasses.replace(result, policy=spec_dict)
+    return canonical(result)
 
 
 # -- telemetry plumbing --------------------------------------------------------

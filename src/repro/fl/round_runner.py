@@ -563,6 +563,8 @@ def _emit_live_telemetry(tel, spec, outcome) -> None:
     tel.counter("live.retries", outcome.num_retries)
     tel.counter("live.drops", len(outcome.dropped))
     tel.counter("live.deadline_hits", outcome.deadline_hits)
+    tel.counter("live.worker_deaths", outcome.worker_deaths)
+    tel.counter("live.worker_restarts", outcome.worker_restarts)
     tel.emit(
         "live.round",
         data={
@@ -576,6 +578,8 @@ def _emit_live_telemetry(tel, spec, outcome) -> None:
             "dropped": {str(k): v for k, v in outcome.dropped.items()},
             "retries": outcome.num_retries,
             "deadline_hits": outcome.deadline_hits,
+            "worker_deaths": outcome.worker_deaths,
+            "worker_restarts": outcome.worker_restarts,
         },
         dur=outcome.completion_time * scale,
     )

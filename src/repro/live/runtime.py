@@ -22,6 +22,18 @@ Fault realizations (dropout instants, upload-failure seeds) are drawn
 server-side from a dedicated RNG stream using the *same*
 :mod:`repro.sim.faults` machinery as the DES, then shipped to workers —
 identical physics, independent draws.
+
+Supervision (PR10): workers emit ``hb`` heartbeat frames from a
+background thread; the pump treats a socket EOF *or* heartbeat silence
+beyond ``worker_stale_s`` as a worker death.  A dead worker is reaped
+and — within a bounded per-worker restart budget with exponential
+backoff — re-forked from the parent's client objects, its RNG streams
+reset to the last checkpointed state (``set_rng``) and its datasets
+re-shipped from the install cache.  Clients the casualty had in the
+round in flight are dropped with the normal ``_drop_client`` machinery,
+so a fleet that shrinks below ``min_participants`` degrades to the
+typed :class:`~repro.sim.faults.ParticipationFloorError` (CLI exit 1)
+instead of hanging until the barrier timeout.
 """
 
 from __future__ import annotations
@@ -38,7 +50,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.live.protocol import FrameStream, socket_pair, tcp_pair
-from repro.nn.serialization import decode_payload
+from repro.nn.serialization import TruncatedPayloadError, decode_payload
 from repro.sim.entities import AGGREGATION_POLICIES
 from repro.sim.faults import (
     FaultProfile,
@@ -153,6 +165,8 @@ class LiveRoundOutcome:
     arrival_offsets: Dict[int, List[float]]  # id -> measured per-iteration
                                              # broadcast→upload offsets
     solve_wall_s: Dict[int, float]           # id -> summed real solve time
+    worker_deaths: int = 0                   # workers lost during this round
+    worker_restarts: int = 0                 # supervised restarts performed
 
     @property
     def survivors(self) -> np.ndarray:
@@ -189,6 +203,8 @@ class LiveRound:
         self.arrival_offsets: Dict[int, List[float]] = {}
         self.solve_wall_s: Dict[int, float] = {}
         self.iteration = -1
+        self._deaths_at_start = runtime.worker_deaths_total
+        self._restarts_at_start = runtime.worker_restarts_total
         self._round_t0: Optional[float] = None
         self._iter_t0 = 0.0
         self._arrived: Dict[int, Tuple[np.ndarray, float]] = {}
@@ -231,8 +247,7 @@ class LiveRound:
             "drop_after": self._drop_after,
             "upload_seeds": self._upload_seeds,
         }
-        for stream in self.runtime.streams:
-            stream.send(meta, arrays)
+        self.runtime.broadcast(meta, arrays)
 
     def run_iteration(
         self,
@@ -254,6 +269,14 @@ class LiveRound:
             )
         self.iteration = iteration
         if iteration == 0:
+            # Deaths between rounds were already healed (restart + data
+            # re-ship), so stale casualty notices don't apply here; only
+            # clients owned by a *permanently* dead worker (restart
+            # budget exhausted) can never contribute again.
+            self.runtime.take_casualties()
+            for cid in sorted(self.active):
+                if self.runtime.is_dead(self.runtime.owner_of(cid)):
+                    self._drop_client(cid, "worker_dead")
             self._send_round_setup(target_eta)
         self._arrived = {}
         self._buffers = {}
@@ -269,8 +292,8 @@ class LiveRound:
         self._iter_t0 = time.monotonic()
         if self._round_t0 is None:
             self._round_t0 = self._iter_t0
-        for stream in self.runtime.streams:
-            stream.send(meta, arrays)
+        self.runtime.broadcast(meta, arrays)
+        self._absorb_casualties()
         self._wait_barrier()
         close_wall = time.monotonic()
         self.durations.append((close_wall - self._iter_t0) / self.spec.time_scale)
@@ -313,6 +336,7 @@ class LiveRound:
                     continue
                 timeout = min(timeout, soft_deadline - now)
             runtime.pump(timeout, self._dispatch)
+            self._absorb_casualties()
         if spec.aggregation == "async" and not self._cancel_sent:
             # Quorum reached with uploads still in flight: cancel them
             # (their stale updates are discarded); the clients stay in
@@ -334,8 +358,20 @@ class LiveRound:
             return
         self._cancel_sent = True
         meta = {"cmd": "cancel", "round": self.round_index, "iteration": self.iteration}
-        for stream in self.runtime.streams:
-            stream.send(meta)
+        self.runtime.broadcast(meta)
+
+    def _absorb_casualties(self) -> None:
+        """Drop the in-flight clients of any worker lost since the last
+        check (EOF, send failure, or heartbeat-stale kill — restarted or
+        not, the replacement has no state for this round).  Dropping
+        below ``min_participants`` degrades to the typed
+        :class:`ParticipationFloorError` instead of hanging."""
+        for widx in self.runtime.take_casualties():
+            for cid in [
+                c for c in sorted(self.active)
+                if self.runtime.owner_of(c) == widx
+            ]:
+                self._drop_client(cid, "worker_died")
 
     def _drop_client(self, cid: int, reason: str) -> None:
         if cid not in self.active:
@@ -410,6 +446,10 @@ class LiveRound:
             deadline_hits=self.deadline_hits,
             arrival_offsets={k: list(v) for k, v in self.arrival_offsets.items()},
             solve_wall_s=dict(self.solve_wall_s),
+            worker_deaths=self.runtime.worker_deaths_total - self._deaths_at_start,
+            worker_restarts=(
+                self.runtime.worker_restarts_total - self._restarts_at_start
+            ),
         )
         self.runtime.record_round(self.spec, outcome)
         return outcome
@@ -426,6 +466,10 @@ class LiveRuntime:
         chunk_bytes: int = 16384,
         round_timeout_s: float = 60.0,
         stats_dir: Optional[str | Path] = None,
+        worker_heartbeat_s: float = 0.5,
+        worker_stale_s: float = 0.0,
+        max_worker_restarts: int = 2,
+        restart_backoff_s: float = 0.1,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -435,6 +479,10 @@ class LiveRuntime:
             raise ValueError("chunk_bytes must be >= 1024")
         if round_timeout_s <= 0:
             raise ValueError("round_timeout_s must be positive")
+        if worker_heartbeat_s < 0 or worker_stale_s < 0:
+            raise ValueError("heartbeat/staleness thresholds must be >= 0")
+        if max_worker_restarts < 0 or restart_backoff_s < 0:
+            raise ValueError("restart budget/backoff must be >= 0")
         self.clients = list(clients)
         if not self.clients:
             raise ValueError("need at least one client")
@@ -443,13 +491,35 @@ class LiveRuntime:
         self.chunk_bytes = chunk_bytes
         self.round_timeout_s = round_timeout_s
         self.stats_dir = Path(stats_dir) if stats_dir is not None else None
-        self.streams: List[FrameStream] = []
-        self._pids: List[int] = []
+        self.worker_heartbeat_s = float(worker_heartbeat_s)
+        # The watchdog must fire before the hard barrier timeout does,
+        # or a wedged worker hangs the round; the auto threshold leaves
+        # half the barrier budget for the restart itself.
+        self.worker_stale_s = (
+            float(worker_stale_s)
+            if worker_stale_s > 0
+            else max(10.0 * self.worker_heartbeat_s, round_timeout_s / 2.0)
+        )
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.restart_backoff_s = float(restart_backoff_s)
+        #: ``streams[idx] is None`` while worker ``idx`` is down (being
+        #: restarted, or permanently dead once its budget is exhausted).
+        self.streams: List[Optional[FrameStream]] = []
+        self._pids: List[Optional[int]] = []
         self._selector: Optional[selectors.BaseSelector] = None
         self.rounds_started = 0
         self._client_stats: Dict[int, Dict] = {}
         self._started = False
         self._closed = False
+        # -- supervision state ----------------------------------------------------
+        self._last_beat: Dict[int, float] = {}
+        self._restarts: List[int] = [0] * self.num_workers
+        self._dead: set = set()          # restart budget exhausted
+        self._casualties: List[int] = [] # deaths not yet seen by the round
+        self._installed: Dict[int, "Dataset"] = {}   # last-shipped datasets
+        self._client_rng_cache: Dict[int, dict] = {} # last checkpointed states
+        self.worker_deaths_total = 0
+        self.worker_restarts_total = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -483,15 +553,25 @@ class LiveRuntime:
                     parent_end.close()
                     if j != idx:
                         child_end.close()
-                worker_main(pairs[idx][1], owned, chunk_bytes=self.chunk_bytes)
+                worker_main(
+                    pairs[idx][1],
+                    owned,
+                    chunk_bytes=self.chunk_bytes,
+                    worker_index=idx,
+                    heartbeat_s=self.worker_heartbeat_s,
+                )
                 raise AssertionError("worker_main returned")  # pragma: no cover
             self._pids.append(pid)
         self._selector = selectors.DefaultSelector()
-        for parent_end, child_end in pairs:
+        now = time.monotonic()
+        for idx, (parent_end, child_end) in enumerate(pairs):
             child_end.close()
             stream = FrameStream(parent_end)
             self.streams.append(stream)
-            self._selector.register(stream.sock, selectors.EVENT_READ, stream)
+            self._selector.register(
+                stream.sock, selectors.EVENT_READ, (idx, stream)
+            )
+            self._last_beat[idx] = now
         self._started = True
 
     def close(self) -> None:
@@ -500,16 +580,21 @@ class LiveRuntime:
             return
         self._closed = True
         for stream in self.streams:
+            if stream is None:
+                continue
             try:
                 stream.send({"cmd": "stop"})
             except OSError:
                 pass
         for stream in self.streams:
-            stream.close()
+            if stream is not None:
+                stream.close()
         if self._selector is not None:
             self._selector.close()
         deadline = time.monotonic() + 5.0
         for pid in self._pids:
+            if pid is None:
+                continue
             while True:
                 try:
                     done, _ = os.waitpid(pid, os.WNOHANG)
@@ -531,37 +616,204 @@ class LiveRuntime:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- socket pump -------------------------------------------------------------
+    # -- socket pump + watchdog --------------------------------------------------
 
     def pump(self, timeout: float, handler) -> None:
         """Read every available frame (≤ one per worker per call) and
-        feed it to ``handler(meta, arrays)``; waits at most ``timeout``."""
-        for key, _ in self._selector.select(timeout=max(timeout, 0.0)):
-            stream: FrameStream = key.data
-            frame = stream.recv()
+        feed it to ``handler(meta, arrays)``; waits at most ``timeout``.
+
+        ``hb`` heartbeat frames are swallowed here (any frame counts as
+        a liveness proof).  A socket EOF or a torn frame means the peer
+        died: the worker is reaped and — restart budget permitting —
+        respawned, and the death is queued for :meth:`take_casualties`
+        so the round in flight can drop its clients.  Workers whose
+        heartbeat has gone stale (wedged, not dead) are killed and take
+        the same path.
+        """
+        events = self._selector.select(timeout=max(timeout, 0.0))
+        now = time.monotonic()
+        for key, _ in events:
+            idx, stream = key.data
+            if self.streams[idx] is not stream:
+                continue  # stale registration: worker already replaced
+            try:
+                frame = stream.recv()
+            except TruncatedPayloadError:
+                frame = None  # died mid-frame
             if frame is None:
-                raise LiveError("a worker closed its socket unexpectedly")
-            handler(*frame)
+                self._handle_worker_death(idx)
+                continue
+            self._last_beat[idx] = now
+            meta, arrays = frame
+            if meta.get("cmd") == "hb":
+                continue
+            handler(meta, arrays)
+        self._check_stale_workers(now)
+
+    def _check_stale_workers(self, now: float) -> None:
+        if self.worker_heartbeat_s <= 0:
+            return  # heartbeats disabled: EOF detection only
+        for idx, stream in enumerate(self.streams):
+            if stream is None:
+                continue
+            if now - self._last_beat.get(idx, now) > self.worker_stale_s:
+                pid = self._pids[idx]
+                if pid is not None:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                self._handle_worker_death(idx)
+
+    def _handle_worker_death(self, idx: int) -> None:
+        """Reap worker ``idx`` and restart it within the retry budget."""
+        stream = self.streams[idx]
+        if stream is None:
+            return
+        self.worker_deaths_total += 1
+        try:
+            self._selector.unregister(stream.sock)
+        except (KeyError, ValueError):
+            pass
+        stream.close()
+        self.streams[idx] = None
+        pid, self._pids[idx] = self._pids[idx], None
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+        self._casualties.append(idx)
+        attempt = self._restarts[idx]
+        if attempt >= self.max_worker_restarts:
+            self._dead.add(idx)
+            return
+        self._restarts[idx] = attempt + 1
+        self.worker_restarts_total += 1
+        if self.restart_backoff_s > 0:
+            time.sleep(self.restart_backoff_s * (2.0 ** attempt))
+        self._respawn_worker(idx)
+
+    def _respawn_worker(self, idx: int) -> None:
+        """Re-fork worker ``idx``: fresh socket, last checkpointed client
+        RNG states (when a checkpoint has captured them), datasets
+        re-shipped from the install cache."""
+        make_pair = socket_pair if self.transport == "unix" else tcp_pair
+        parent_end, child_end = make_pair()
+        owned = {
+            c.client_id: c
+            for c in self.clients
+            if self.owner_of(c.client_id) == idx
+        }
+        from repro.live.worker import worker_main
+
+        pid = os.fork()
+        if pid == 0:
+            parent_end.close()
+            # Drop inherited parent-side sockets of the other workers.
+            for other in self.streams:
+                if other is not None:
+                    try:
+                        other.sock.close()
+                    except OSError:
+                        pass
+            worker_main(
+                child_end,
+                owned,
+                chunk_bytes=self.chunk_bytes,
+                worker_index=idx,
+                heartbeat_s=self.worker_heartbeat_s,
+            )
+            raise AssertionError("worker_main returned")  # pragma: no cover
+        child_end.close()
+        stream = FrameStream(parent_end)
+        self.streams[idx] = stream
+        self._pids[idx] = pid
+        self._selector.register(stream.sock, selectors.EVENT_READ, (idx, stream))
+        self._last_beat[idx] = time.monotonic()
+        states = {
+            str(cid): state
+            for cid, state in self._client_rng_cache.items()
+            if self.owner_of(cid) == idx
+        }
+        if states:
+            stream.send({"cmd": "set_rng", "states": states})
+        cids = sorted(c for c in self._installed if self.owner_of(c) == idx)
+        if cids:
+            arrays = {}
+            for cid in cids:
+                data = self._installed[cid]
+                arrays[f"x{cid}"] = data.x
+                arrays[f"y{cid}"] = data.y
+            stream.send({"cmd": "install", "clients": cids}, arrays)
+
+    def send_to_worker(self, idx: int, meta, arrays=None) -> bool:
+        """Send one frame to worker ``idx``; a send failure (EPIPE after
+        a kill the pump has not seen yet) takes the same death path as a
+        pumped EOF.  Returns whether the frame was delivered."""
+        stream = self.streams[idx]
+        if stream is None:
+            return False
+        try:
+            stream.send(meta, arrays)
+            return True
+        except OSError:
+            self._handle_worker_death(idx)
+            return False
+
+    def broadcast(self, meta, arrays=None) -> None:
+        """Send one frame to every live worker, tolerating deaths."""
+        for idx in range(self.num_workers):
+            if self.streams[idx] is not None:
+                self.send_to_worker(idx, meta, arrays)
+
+    def take_casualties(self) -> List[int]:
+        """Worker indices lost since the last call (restarted or not)."""
+        out, self._casualties = self._casualties, []
+        return out
+
+    def is_dead(self, idx: int) -> bool:
+        """True once worker ``idx`` has exhausted its restart budget."""
+        return idx in self._dead
+
+    def live_streams(self) -> List[FrameStream]:
+        return [s for s in self.streams if s is not None]
 
     # -- data distribution -------------------------------------------------------
 
     def install_data(self, datasets: Dict[int, "Dataset"]) -> None:
-        """Ship this epoch's local datasets to the owning workers."""
+        """Ship this epoch's local datasets to the owning workers.
+
+        The shipment is cached first so a worker restarted mid-epoch can
+        be re-provisioned with exactly what its predecessor held; workers
+        whose restart budget is exhausted are skipped (their clients get
+        dropped from the round by the supervision path)."""
         self.ensure_started()
+        self._installed.update(datasets)
         per_worker: Dict[int, List[int]] = {}
         for cid in datasets:
             per_worker.setdefault(self.owner_of(cid), []).append(cid)
         expect = 0
         for widx, cids in per_worker.items():
+            if self.streams[widx] is None:
+                continue
             arrays = {}
             for cid in cids:
                 data = datasets[cid]
                 arrays[f"x{cid}"] = data.x
                 arrays[f"y{cid}"] = data.y
-            self.streams[widx].send(
-                {"cmd": "install", "clients": sorted(cids)}, arrays
+            self.send_to_worker(
+                widx, {"cmd": "install", "clients": sorted(cids)}, arrays
             )
-            expect += 1
+            # A send failure restarted the worker (re-shipping this very
+            # cache) or declared it permanently dead; only live workers
+            # owe an ack.
+            if self.streams[widx] is not None:
+                expect += 1
         acks = [0]
 
         def on_frame(meta, arrays):
@@ -575,6 +827,63 @@ class LiveRuntime:
             if time.monotonic() > deadline:
                 raise LiveRoundTimeout("workers did not acknowledge data install")
             self.pump(0.1, on_frame)
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def client_rng_states(self) -> Dict[str, dict]:
+        """Collect every worker-owned client RNG state for a checkpoint.
+
+        Per-client streams are consumed *inside* the forked workers, so
+        the parent factory's own capture is stale for them; this pulls
+        the live ``bit_generator.state`` dicts back over the sockets and
+        returns them keyed by factory stream name (``fl.client.<id>``).
+        The result is also cached so a later worker restart can resume
+        its clients from the last checkpointed state.  Clients of a
+        permanently dead worker report their last cached state (or, if
+        never checkpointed, fall back to the parent factory's capture by
+        being absent here).
+        """
+        if not self._started or self._closed:
+            return {}
+        states: Dict[int, dict] = {}
+        replied: set = set()
+        asked: set = set()
+
+        def on_frame(meta, arrays) -> None:
+            if meta.get("cmd") == "ok" and meta.get("re") == "rng_state":
+                replied.add(int(meta["worker"]))
+                for key, state in meta["states"].items():
+                    states[int(key)] = state
+            # Anything else is a stale frame from a finished round.
+
+        deadline = time.monotonic() + self.round_timeout_s
+        while True:
+            pending = [
+                idx
+                for idx, stream in enumerate(self.streams)
+                if stream is not None and idx not in replied
+            ]
+            for idx in pending:
+                if idx not in asked:
+                    asked.add(idx)
+                    self.send_to_worker(idx, {"cmd": "rng_state"})
+            if not pending:
+                break
+            if time.monotonic() > deadline:
+                raise LiveRoundTimeout(
+                    "workers did not report their RNG state for the checkpoint"
+                )
+            self.pump(0.1, on_frame)
+            # A worker that died mid-collection came back with the
+            # cached states from the previous checkpoint; re-ask the
+            # replacement so those are what this checkpoint records.
+            for idx in self.take_casualties():
+                asked.discard(idx)
+        self._client_rng_cache.update(states)
+        return {
+            f"fl.client.{cid}": state
+            for cid, state in self._client_rng_cache.items()
+        }
 
     # -- rounds ------------------------------------------------------------------
 

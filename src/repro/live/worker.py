@@ -17,6 +17,14 @@ broadcast spawns one thread per owned participant which
    chunk by chunk, so uploads from different clients genuinely
    interleave on the wire.
 
+A background thread additionally sends a small ``hb`` liveness beacon
+every ``heartbeat_s`` wall seconds; the server's watchdog uses its
+absence to tell a *wedged* worker (deadlocked, stopped) from a merely
+slow one.  Two supervision commands round out the protocol: ``rng_state``
+reports every owned client's ``bit_generator.state`` (how checkpoints
+capture worker-side RNG streams) and ``set_rng`` restores them (how a
+restarted worker resumes from the last checkpointed client state).
+
 Workers never touch the aggregation pipeline: DP, compression,
 adversaries, defenses and averaging all stay in the server process, in
 ascending-client-id order, which is why a fault-free live run is
@@ -67,10 +75,13 @@ class _Worker:
         stream: FrameStream,
         clients: Dict[int, FLClient],
         chunk_bytes: int,
+        worker_index: int = 0,
+        heartbeat_s: float = 0.5,
     ) -> None:
         self.stream = stream
         self.clients = clients
         self.chunk_bytes = chunk_bytes
+        self.worker_index = worker_index
         self.plan: Optional[_RoundPlan] = None
         self.cancels: Dict[tuple, threading.Event] = {}
         self.threads: list = []
@@ -82,6 +93,24 @@ class _Worker:
         for client in clients.values():
             client.model = copy.deepcopy(client.model)
         self.locks = {cid: threading.Lock() for cid in clients}
+        self._hb_stop = threading.Event()
+        if heartbeat_s > 0:
+            threading.Thread(
+                target=self._heartbeat_loop,
+                args=(float(heartbeat_s),),
+                name="live-heartbeat",
+                daemon=True,
+            ).start()
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        """Liveness beacon: solves run in threads, so beacons keep
+        flowing through long local solves — only a genuinely wedged
+        process goes silent."""
+        while not self._hb_stop.wait(interval):
+            try:
+                self.stream.send({"cmd": "hb", "worker": self.worker_index})
+            except OSError:
+                return
 
     # -- command handlers --------------------------------------------------------
 
@@ -123,8 +152,39 @@ class _Worker:
         self.cancels.clear()
         self.threads = [t for t in self.threads if t.is_alive()]
 
+    def handle_rng_state(self) -> None:
+        """Report every owned client's RNG state (checkpoint capture).
+
+        Each client's lock is taken so a cancelled straggler still inside
+        a solve cannot advance the stream mid-read."""
+        states = {}
+        for cid in sorted(self.clients):
+            with self.locks[cid]:
+                states[str(cid)] = self.clients[cid].rng.bit_generator.state
+        self.stream.send(
+            {
+                "cmd": "ok",
+                "re": "rng_state",
+                "worker": self.worker_index,
+                "states": states,
+            }
+        )
+
+    def handle_set_rng(self, meta: Dict) -> None:
+        """Restore owned client RNG streams (worker restart path)."""
+        for key, state in meta["states"].items():
+            cid = int(key)
+            if cid in self.clients:
+                with self.locks[cid]:
+                    self.clients[cid].rng.bit_generator.state = state
+
     def handle_iter(self, meta: Dict, arrays: Dict) -> None:
         plan = self.plan
+        if plan is None or plan.round_index != int(meta["round"]):
+            # A restarted worker has no state for the round in flight;
+            # the server drops its clients from that round and the next
+            # "round" frame re-synchronizes.
+            return
         it = int(meta["iteration"])
         cancel = threading.Event()
         self.cancels[(plan.round_index, it)] = cancel
@@ -309,17 +369,33 @@ class _Worker:
                 self.handle_iter(meta, arrays)
             elif cmd == "cancel":
                 self.handle_cancel(meta)
+            elif cmd == "rng_state":
+                self.handle_rng_state()
+            elif cmd == "set_rng":
+                self.handle_set_rng(meta)
             else:
                 raise ValueError(f"unknown worker command {cmd!r}")
 
 
 def worker_main(
-    sock, clients: Dict[int, FLClient], chunk_bytes: int = 16384
+    sock,
+    clients: Dict[int, FLClient],
+    chunk_bytes: int = 16384,
+    worker_index: int = 0,
+    heartbeat_s: float = 0.5,
 ) -> None:
     """Entry point of a forked worker; never returns (``os._exit``)."""
     code = 0
     try:
-        _Worker(FrameStream(sock), clients, chunk_bytes).run()
+        _Worker(
+            FrameStream(sock),
+            clients,
+            chunk_bytes,
+            worker_index=worker_index,
+            heartbeat_s=heartbeat_s,
+        ).run()
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # server tore the socket down mid-send: clean termination
     except BaseException:
         traceback.print_exc(file=sys.stderr)
         sys.stderr.flush()

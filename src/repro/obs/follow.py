@@ -13,8 +13,10 @@ Robustness contract (tested):
   bytes after the last newline stay buffered until the line completes
   (multi-byte UTF-8 sequences may split across polls, hence the byte
   buffer);
-* **truncation / rotation** — if a file shrinks the follower restarts it
-  from offset 0 instead of mis-seeking;
+* **truncation / rotation** — if a file shrinks, or the path is replaced
+  by a new file (rotation: same name, different inode), the follower
+  restarts it from offset 0 instead of mis-seeking — even when the new
+  file has already grown past the old offset by the time it is polled;
 * **missing manifest** — a live directory has no ``manifest.json`` yet;
   the follower never requires one and uses its *appearance* (finalize
   ran) plus a drained read as the completion signal;
@@ -32,6 +34,7 @@ wraps it in the CLI polling loop.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -109,6 +112,7 @@ class TraceFollower:
         self.run = run
         self._positions: Dict[str, int] = {}
         self._buffers: Dict[str, bytes] = {}
+        self._identities: Dict[str, tuple] = {}
         self._runs: Dict[str, _RunState] = {}
         self._run_order: List[str] = []
         self.events_seen = 0
@@ -131,26 +135,43 @@ class TraceFollower:
     def _poll_file(self, path: Path) -> List[str]:
         name = path.name
         pos = self._positions.get(name, 0)
+        # Size and identity come from fstat of the handle actually read,
+        # so a rotation between stat and open cannot slip through.
         try:
-            size = path.stat().st_size
+            fh = path.open("rb")
         except OSError:
             return []
         out: List[str] = []
-        if size < pos:
-            # The file shrank: truncated or rotated in place.  Restart —
-            # seq numbers restart with the new recording, so state from
-            # the old file would mislabel the new run anyway.
-            out.append(f"[follow] {name} truncated; restarting from offset 0")
-            pos = 0
-            self._buffers[name] = b""
-        if size == pos:
-            return out
-        try:
-            with path.open("rb") as fh:
+        with fh:
+            st = os.fstat(fh.fileno())
+            size = st.st_size
+            identity = (st.st_dev, st.st_ino)
+            known = self._identities.get(name)
+            self._identities[name] = identity
+            if known is not None and known != identity:
+                # Rotated: the name now points at a different file.  The
+                # new one may already be *larger* than our offset, so
+                # this cannot be folded into the shrink check below.
+                out.append(f"[follow] {name} rotated; restarting from offset 0")
+                pos = 0
+                self._buffers[name] = b""
+            if size < pos:
+                # The file shrank: truncated in place.  Restart — seq
+                # numbers restart with the new recording, so state from
+                # the old bytes would mislabel the new run anyway.
+                out.append(
+                    f"[follow] {name} truncated; restarting from offset 0"
+                )
+                pos = 0
+                self._buffers[name] = b""
+            if size == pos:
+                self._positions[name] = pos
+                return out
+            try:
                 fh.seek(pos)
                 chunk = fh.read()
-        except OSError:
-            return out
+            except OSError:
+                return out
         self._positions[name] = pos + len(chunk)
         self._last_poll_bytes += len(chunk)
         buffer = self._buffers.get(name, b"") + chunk

@@ -23,6 +23,7 @@ generator object (so a component can keep drawing from where it left off).
 
 from __future__ import annotations
 
+import copy
 import hashlib
 from typing import Dict
 
@@ -67,6 +68,45 @@ class RngFactory:
     def child(self, key: str) -> "RngFactory":
         """Return a sub-factory whose streams are independent of this one."""
         return RngFactory(derive_seed(self.seed, f"child:{key}"))
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, dict]:
+        """Bit-generator state of every stream created so far.
+
+        The values are the nested plain-python dicts numpy exposes via
+        ``Generator.bit_generator.state`` (for the default PCG64: the
+        128-bit state/increment integers plus the cached-uint32 pair), so
+        the result is JSON-serializable as-is.  Streams not yet created
+        are absent — they are deterministic functions of ``seed`` and
+        their key, so a resumed factory recreates them identically on
+        first ``get``.
+        """
+        # The .state property builds a fresh nested dict on every access,
+        # so no defensive copy is needed on capture (restore still copies:
+        # the caller's dict must not be mutated by the setter).
+        return {
+            key: gen.bit_generator.state for key, gen in self._cache.items()
+        }
+
+    def load_state(self, states: Dict[str, dict]) -> None:
+        """Restore streams captured by :meth:`state_dict`.
+
+        Each named stream is (re)created through :meth:`get` and its bit
+        generator fast-forwarded to the saved state, so subsequent draws
+        continue bit-identically from the capture point.  Streams already
+        handed out keep their object identity (holders see the restored
+        stream); cached streams absent from ``states`` are left alone.
+        """
+        for key, state in states.items():
+            gen = self.get(key)
+            if state["bit_generator"] != gen.bit_generator.state["bit_generator"]:
+                raise ValueError(
+                    f"stream {key!r}: bit generator "
+                    f"{state['bit_generator']!r} does not match the "
+                    f"factory's {gen.bit_generator.state['bit_generator']!r}"
+                )
+            gen.bit_generator.state = copy.deepcopy(state)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"RngFactory(seed={self.seed}, streams={sorted(self._cache)})"

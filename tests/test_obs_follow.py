@@ -1,4 +1,4 @@
-"""Live trace tailing: partial lines, truncation, missing manifest, determinism."""
+"""Live trace tailing: partial lines, truncation/rotation, missing manifest, determinism."""
 
 import json
 
@@ -94,6 +94,39 @@ class TestTruncation:
         lines = follower.poll()
         assert any("truncated" in line for line in lines)
         assert any("r1" in line for line in lines)
+
+
+class TestRotation:
+    def test_replaced_file_grown_past_offset_restarts(self, tmp_path):
+        """True rotation: the path now names a *different* file (new
+        inode) that is already larger than the old read offset — the
+        size check alone cannot see it; identity must."""
+        events = tmp_path / "events-main.jsonl"
+        events.write_text(epoch_event(0) + epoch_event(1))
+        follower = TraceFollower(tmp_path)
+        assert len(follower.poll()) == 2
+        events.rename(tmp_path / "events-main.jsonl.1")
+        events.write_text(
+            epoch_event(0, run="r1") + epoch_event(1, run="r1")
+            + epoch_event(2, run="r1")  # longer than the old file
+        )
+        lines = follower.poll()
+        assert any("rotated" in line for line in lines)
+        assert sum("r1" in line and "t=" in line for line in lines) == 3
+
+    def test_rotation_discards_stale_partial_buffer(self, tmp_path):
+        """A partial line buffered from the old file must not be glued
+        onto the first line of its replacement."""
+        events = tmp_path / "events-main.jsonl"
+        events.write_bytes(epoch_event(0).encode() + b'{"v": 1, "seq"')
+        follower = TraceFollower(tmp_path)
+        assert len(follower.poll()) == 1  # partial tail stays buffered
+        events.rename(tmp_path / "events-main.jsonl.1")
+        events.write_text(epoch_event(0, run="fresh") + epoch_event(1, run="fresh"))
+        lines = follower.poll()
+        assert any("rotated" in line for line in lines)
+        assert sum("fresh" in line for line in lines) == 2
+        assert follower.malformed == 0
 
 
 class TestCompletionSignal:

@@ -1,4 +1,4 @@
-"""Back-compat: committed v1/v2/v3 result payloads load through the v4 reader.
+"""Back-compat: committed v1-v4 result payloads load through the v5 reader.
 
 The fixtures under ``tests/fixtures/`` are real (tiny) experiment
 results serialized by the schema version named in the file, captured at
@@ -7,7 +7,9 @@ the moment each schema was superseded:
 * ``results_v1.json`` — before the ``sim`` config section existed;
 * ``results_v2.json`` — before the ``attack``/``defense`` sections;
 * ``results_v3.json`` — before the sweep layer's ``policy``
-  self-description rode along on the result.
+  self-description rode along on the result;
+* ``results_v4.json`` — before the ``checkpoint`` config section
+  existed (and before the reader restored ``live``/``shard``).
 
 (Only the first 8 weight entries are kept — the reader never validates
 the weight vector's shape, and full fmnist weights would bloat the
@@ -25,7 +27,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.config import AttackConfig, DefenseConfig, SimConfig
+from repro.config import AttackConfig, CheckpointConfig, DefenseConfig, SimConfig
 from repro.experiments.persistence import (
     RESULT_SCHEMA_VERSION,
     SUPPORTED_RESULT_SCHEMAS,
@@ -40,7 +42,7 @@ from repro.experiments.tournament import (
 )
 
 FIXTURES = Path(__file__).parent / "fixtures"
-OLD_VERSIONS = (1, 2, 3)
+OLD_VERSIONS = (1, 2, 3, 4)
 
 
 def fixture_path(version):
@@ -57,7 +59,12 @@ class TestOldResultSchemasLoad:
         assert len(result.trace) == 2
         assert result.stop_reason
         # The "policy" self-description is a v4 addition.
-        assert result.policy is None
+        if version < 4:
+            assert result.policy is None
+        else:
+            assert result.policy == {
+                "name": "FedAvg", "stream": "policy.FedAvg"
+            }
 
     @pytest.mark.parametrize("version", OLD_VERSIONS)
     def test_inner_payload_loads_directly(self, version):
@@ -73,6 +80,12 @@ class TestOldResultSchemasLoad:
         cfg = load_results(fixture_path(2))["FedAvg"].config
         assert cfg.attack == AttackConfig()
         assert cfg.defense == DefenseConfig()
+
+    @pytest.mark.parametrize("version", OLD_VERSIONS)
+    def test_pre_v5_gets_default_checkpoint_section(self, version):
+        cfg = load_results(fixture_path(version))["FedAvg"].config
+        assert cfg.checkpoint == CheckpointConfig()
+        assert cfg.checkpoint.directory is None
 
     @pytest.mark.parametrize("version", OLD_VERSIONS)
     def test_resave_upgrades_to_current_schema(self, version, tmp_path):
